@@ -1,0 +1,150 @@
+// Ablations of the design choices called out in DESIGN.md section 3.
+//
+//   EarsShutdown    : sweep the shut-down constant C — too small risks
+//                     premature sleep (gather_ok < 1), larger C buys
+//                     safety margin with messages.
+//   EarsProgressCtl : EARS with/without the informed-list progress control
+//                     (the "fixed iteration budget" strawman from the
+//                     paper's introduction) — message inflation.
+//   SearsEpsilon    : the time/message trade-off dial of Section 4.
+//   TearsConstants  : a/kappa multiplier sweep — majority success
+//                     probability vs message cost (Lemmas 9-11 headroom).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "gossip/epidemic.h"
+
+namespace asyncgossip::bench {
+namespace {
+
+constexpr int kIterations = 5;
+
+void BM_EarsShutdownConstant(benchmark::State& state) {
+  const double c = static_cast<double>(state.range(0)) / 10.0;
+  GossipAccumulator acc;
+  std::uint64_t seed = 31337;
+  GossipSpec spec = base_spec(GossipAlgorithm::kEars, 128, 32, 2, 2);
+  spec.ears_shutdown_constant = c;
+  for (auto _ : state) {
+    spec.seed = seed++;
+    const GossipOutcome out = run_gossip_spec(spec);
+    if (!out.completed) {
+      state.SkipWithError("no quiescence");
+      return;
+    }
+    acc.add(out);
+  }
+  acc.flush(state, 128.0, 4.0);
+}
+
+void BM_EarsProgressControl(benchmark::State& state) {
+  const bool with_informed_list = state.range(0) == 1;
+  // The fixed budget is what a designer without the progress control would
+  // have to provision: multiples of the informed-list shut-down length.
+  const auto budget_multiplier = static_cast<std::uint64_t>(state.range(1));
+  GossipAccumulator acc;
+  std::uint64_t seed = 8191;
+  for (auto _ : state) {
+    GossipSpec spec = base_spec(with_informed_list
+                                    ? GossipAlgorithm::kEars
+                                    : GossipAlgorithm::kEarsNoInformedList,
+                                128, 32, 2, 2);
+    if (!with_informed_list) {
+      const auto base = make_ears_config(spec.n, spec.f, 1).shutdown_steps;
+      spec.fallback_step_budget = budget_multiplier * base;
+    }
+    spec.seed = seed++;
+    const GossipOutcome out = run_gossip_spec(spec);
+    if (!out.completed) {
+      state.SkipWithError("no quiescence");
+      return;
+    }
+    acc.add(out);
+  }
+  acc.flush(state, 128.0, 4.0);
+}
+
+void BM_SearsEpsilon(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  GossipAccumulator acc;
+  std::uint64_t seed = 65537;
+  GossipSpec spec = base_spec(GossipAlgorithm::kSears, 256, 64, 2, 2);
+  spec.sears_epsilon = eps;
+  for (auto _ : state) {
+    spec.seed = seed++;
+    const GossipOutcome out = run_gossip_spec(spec);
+    if (!out.completed) {
+      state.SkipWithError("no quiescence");
+      return;
+    }
+    acc.add(out);
+  }
+  acc.flush(state, 256.0, 4.0);
+}
+
+void BM_TearsConstants(benchmark::State& state) {
+  const double mult = static_cast<double>(state.range(0)) / 10.0;
+  GossipAccumulator acc;
+  std::uint64_t seed = 131071;
+  GossipSpec spec = base_spec(GossipAlgorithm::kTears, 1024, 511, 2, 2);
+  spec.tears_a_constant = mult;
+  spec.tears_kappa_constant = mult;
+  for (auto _ : state) {
+    spec.seed = seed++;
+    const GossipOutcome out = run_gossip_spec(spec);
+    if (!out.completed) {
+      state.SkipWithError("no quiescence");
+      return;
+    }
+    acc.add(out);
+  }
+  acc.flush(state, 1024.0, 4.0);
+}
+
+void BM_RoundRobinVsEars(benchmark::State& state) {
+  // Derandomization ablation (the paper's deterministic-gossip question):
+  // cyclic targets vs uniform-random targets, same skeleton.
+  const bool deterministic = state.range(0) == 1;
+  GossipAccumulator acc;
+  std::uint64_t seed = 24001;
+  GossipSpec spec = base_spec(deterministic ? GossipAlgorithm::kRoundRobin
+                                            : GossipAlgorithm::kEars,
+                              128, 32, 2, 2);
+  for (auto _ : state) {
+    spec.seed = seed++;
+    const GossipOutcome out = run_gossip_spec(spec);
+    if (!out.completed) {
+      state.SkipWithError("no quiescence");
+      return;
+    }
+    acc.add(out);
+  }
+  acc.flush(state, 128.0, 4.0);
+}
+
+// Shut-down constant C in tenths: 0.5, 1, 2, 4, 8.
+BENCHMARK(BM_EarsShutdownConstant)
+    ->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Arg(80)
+    ->Iterations(kIterations);
+
+// {with_informed_list, budget_multiplier}.
+BENCHMARK(BM_EarsProgressControl)
+    ->Args({1, 0})
+    ->Args({0, 4})->Args({0, 8})->Args({0, 16})
+    ->Iterations(kIterations);
+
+// Epsilon in hundredths: 0.2 .. 0.75.
+BENCHMARK(BM_SearsEpsilon)
+    ->Arg(20)->Arg(35)->Arg(50)->Arg(75)
+    ->Iterations(kIterations);
+
+// 0 = ears (random targets), 1 = round-robin (deterministic).
+BENCHMARK(BM_RoundRobinVsEars)->Arg(0)->Arg(1)->Iterations(kIterations);
+
+// a/kappa multiplier in tenths: 0.3, 0.5, 1, 2, 4.
+BENCHMARK(BM_TearsConstants)
+    ->Arg(3)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Iterations(kIterations);
+
+}  // namespace
+}  // namespace asyncgossip::bench

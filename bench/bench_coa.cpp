@@ -1,0 +1,96 @@
+// Corollary 2 reproduction: the cost of asynchrony.
+//
+// T_CoA(A) = T_async(A) / T_sync(best synchronous algorithm at d=delta=1)
+// M_CoA(A) = M_async(A) / M_sync(...)
+//
+// The corollary: every asynchronous gossip algorithm pays T_CoA = Omega(f)
+// or M_CoA = Omega(1 + f^2/n). We measure both ratios for EARS (the
+// message-efficient protocol — under the adaptive adversary its messages
+// blow up) and for the lazy cascading foil (its time blows up), against the
+// synchronous epidemic baseline at the same (n, f).
+//
+//   args     : {f}; n = 4f
+//   counters : t_coa, m_coa (adaptive-adversary numerator),
+//              t_coa_benign, m_coa_benign (oblivious numerator — shows the
+//              gap is the *adversary's* doing, not asynchrony per se),
+//              sync_msgs, sync_steps (denominators)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "lowerbound/adaptive.h"
+
+namespace asyncgossip::bench {
+namespace {
+
+constexpr int kIterations = 3;
+
+void run_case(benchmark::State& state, GossipAlgorithm alg) {
+  const auto f = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 4 * f;
+
+  double sync_msgs = 0, sync_steps = 0;
+  double adv_msgs = 0, adv_steps = 0;
+  double ben_msgs = 0, ben_steps = 0;
+  int runs = 0;
+  std::uint64_t seed = 70003;
+  for (auto _ : state) {
+    ++runs;
+    const std::uint64_t s = seed++;
+
+    // Denominator: the synchronous baseline, native model.
+    GossipSpec sync_spec = base_spec(GossipAlgorithm::kSync, n, f, 1, 1);
+    sync_spec.seed = s;
+    const GossipOutcome sync_out = run_gossip_spec(sync_spec);
+    sync_msgs += static_cast<double>(sync_out.messages);
+    sync_steps += static_cast<double>(sync_out.completion_time);
+
+    // Numerator 1: the asynchronous algorithm under the Theorem 1 adversary.
+    LowerBoundConfig cfg;
+    cfg.spec.algorithm = alg;
+    cfg.spec.n = n;
+    cfg.spec.seed = s;
+    cfg.spec.lazy_fanout = 1;
+    cfg.spec.ears_shutdown_constant = 2.0;
+    cfg.f = f;
+    const LowerBoundReport adv = run_lower_bound(cfg);
+    adv_msgs += static_cast<double>(adv.total_messages);
+    // For Case 2 constructions that leave gathering unsatisfied the honest
+    // completion time is unbounded; report the window end as a floor.
+    adv_steps += static_cast<double>(
+        adv.gathering_ok ? adv.completion_time
+                         : std::max(adv.completion_time, adv.case2_window_end));
+
+    // Numerator 2: same algorithm under a benign oblivious adversary at
+    // d = delta = 1.
+    GossipSpec ben = base_spec(alg, n, f, 1, 1);
+    ben.seed = s;
+    ben.lazy_fanout = 1;
+    ben.ears_shutdown_constant = 2.0;
+    const GossipOutcome ben_out = run_gossip_spec(ben);
+    ben_msgs += static_cast<double>(ben_out.messages);
+    ben_steps += static_cast<double>(ben_out.completion_time);
+    benchmark::DoNotOptimize(adv.total_messages);
+  }
+  const double r = runs;
+  state.counters["sync_msgs"] = sync_msgs / r;
+  state.counters["sync_steps"] = sync_steps / r;
+  state.counters["t_coa"] = (adv_steps / r) / (sync_steps / r);
+  state.counters["m_coa"] = (adv_msgs / r) / (sync_msgs / r);
+  state.counters["t_coa_benign"] = (ben_steps / r) / (sync_steps / r);
+  state.counters["m_coa_benign"] = (ben_msgs / r) / (sync_msgs / r);
+  state.counters["f2_over_n"] =
+      static_cast<double>(f) * static_cast<double>(f) / static_cast<double>(n);
+}
+
+void BM_CoA_Ears(benchmark::State& state) {
+  run_case(state, GossipAlgorithm::kEars);
+}
+void BM_CoA_Lazy(benchmark::State& state) {
+  run_case(state, GossipAlgorithm::kLazy);
+}
+
+BENCHMARK(BM_CoA_Ears)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(kIterations);
+BENCHMARK(BM_CoA_Lazy)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(kIterations);
+
+}  // namespace
+}  // namespace asyncgossip::bench

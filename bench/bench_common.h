@@ -1,0 +1,60 @@
+// Shared helpers for the benchmark harness.
+//
+// These benchmarks measure *simulation metrics* — global time steps and
+// point-to-point message counts, the two complexity measures of the paper —
+// not wall-clock time. Each benchmark case therefore runs a fixed small
+// number of iterations with distinct seeds and reports the mean metrics as
+// user counters; wall time in the report is incidental.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "gossip/harness.h"
+
+namespace asyncgossip::bench {
+
+/// Aggregates gossip outcomes across iterations into counters.
+class GossipAccumulator {
+ public:
+  void add(const GossipOutcome& out) {
+    ++runs_;
+    messages_ += static_cast<double>(out.messages);
+    steps_ += static_cast<double>(out.completion_time);
+    gatherings_ += out.gathering_ok ? 1 : 0;
+    majorities_ += out.majority_ok ? 1 : 0;
+  }
+
+  void flush(benchmark::State& state, double n, double d_plus_delta) const {
+    if (runs_ == 0) return;
+    const double r = static_cast<double>(runs_);
+    state.counters["msgs"] = messages_ / r;
+    state.counters["steps"] = steps_ / r;
+    state.counters["steps_per_dd"] = steps_ / r / d_plus_delta;
+    state.counters["msgs_per_n"] = messages_ / r / n;
+    state.counters["gather_ok"] = static_cast<double>(gatherings_) / r;
+    state.counters["majority_ok"] = static_cast<double>(majorities_) / r;
+  }
+
+ private:
+  int runs_ = 0;
+  double messages_ = 0;
+  double steps_ = 0;
+  int gatherings_ = 0;
+  int majorities_ = 0;
+};
+
+inline GossipSpec base_spec(GossipAlgorithm alg, std::size_t n, std::size_t f,
+                            Time d, Time delta) {
+  GossipSpec spec;
+  spec.algorithm = alg;
+  spec.n = n;
+  spec.f = f;
+  spec.d = d;
+  spec.delta = delta;
+  spec.schedule =
+      delta == 1 ? SchedulePattern::kLockStep : SchedulePattern::kStaggered;
+  spec.delay = d == 1 ? DelayPattern::kUnitDelay : DelayPattern::kUniform;
+  return spec;
+}
+
+}  // namespace asyncgossip::bench

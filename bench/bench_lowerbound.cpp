@@ -1,0 +1,117 @@
+// Theorem 1 / Figure 1 reproduction: the adaptive adversary forces every
+// gossip protocol into Omega(n + f^2) messages or Omega(f (d + delta)) time.
+//
+//   rows     : ears (promiscuous -> Case 1 message blow-up),
+//              lazy fanout-1 (cascading -> Case 2 time blow-up),
+//              trivial (always promiscuous -> Case 1)
+//   args     : {f}; n = 4f so that f_eff = f exactly as in the proof
+//   counters : case1_msgs (messages wasted inside the Case 1 window),
+//              case1_msgs_per_f2 (the Omega(f^2) constant),
+//              t_phase1, window_end, msgs_total, completion,
+//              which case fired (case1 / case2 / slow rates),
+//              construction_ok rate, oblivious_msgs (same algorithm at the
+//              same (n, f) under a benign oblivious adversary — the
+//              adaptive/oblivious message ratio quantifies the adversary's
+//              damage)
+#include <benchmark/benchmark.h>
+
+#include "gossip/harness.h"
+#include "lowerbound/adaptive.h"
+
+namespace asyncgossip::bench {
+namespace {
+
+constexpr int kIterations = 3;
+
+void run_case(benchmark::State& state, GossipAlgorithm alg) {
+  const auto f = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 4 * f;
+
+  double case1_msgs = 0, t_phase1 = 0, msgs_total = 0, completion = 0,
+         window_end = 0;
+  int case1 = 0, case2 = 0, slow = 0, ok = 0, runs = 0;
+  double oblivious_msgs = 0;
+  std::uint64_t seed = 90001;
+  for (auto _ : state) {
+    LowerBoundConfig cfg;
+    cfg.spec.algorithm = alg;
+    cfg.spec.n = n;
+    cfg.spec.seed = seed++;
+    cfg.spec.lazy_fanout = 1;
+    cfg.spec.ears_shutdown_constant = 2.0;
+    cfg.f = f;
+    const LowerBoundReport r = run_lower_bound(cfg);
+    ++runs;
+    t_phase1 += static_cast<double>(r.phase1_end);
+    msgs_total += static_cast<double>(r.total_messages);
+    completion += static_cast<double>(r.completion_time);
+    switch (r.outcome) {
+      case LowerBoundCase::kCase1Messages:
+        ++case1;
+        case1_msgs += static_cast<double>(r.case1_window_messages);
+        break;
+      case LowerBoundCase::kCase2Time:
+        ++case2;
+        window_end += static_cast<double>(r.case2_window_end);
+        break;
+      case LowerBoundCase::kSlowPhase1:
+        ++slow;
+        break;
+    }
+    ok += r.construction_ok ? 1 : 0;
+
+    // Benign oblivious reference run at the same (n, f).
+    GossipSpec obl = cfg.spec;
+    obl.f = f;
+    obl.d = 1;
+    obl.delta = 1;
+    obl.schedule = SchedulePattern::kLockStep;
+    obl.delay = DelayPattern::kUnitDelay;
+    const GossipOutcome base = run_gossip_spec(obl);
+    oblivious_msgs += static_cast<double>(base.messages);
+    benchmark::DoNotOptimize(r.total_messages);
+  }
+  const double rr = runs;
+  const double ff = static_cast<double>(f);
+  state.counters["t_phase1"] = t_phase1 / rr;
+  state.counters["msgs_total"] = msgs_total / rr;
+  state.counters["completion"] = completion / rr;
+  state.counters["case1_rate"] = case1 / rr;
+  state.counters["case2_rate"] = case2 / rr;
+  state.counters["slow_rate"] = slow / rr;
+  state.counters["construct_ok"] = ok / rr;
+  state.counters["oblivious_msgs"] = oblivious_msgs / rr;
+  if (case1 > 0) {
+    state.counters["case1_msgs"] = case1_msgs / case1;
+    state.counters["case1_msgs_per_f2"] = case1_msgs / case1 / (ff * ff);
+    state.counters["adaptive_vs_oblivious"] =
+        (msgs_total / rr) / (oblivious_msgs / rr);
+  }
+  if (case2 > 0) {
+    state.counters["case2_window_end"] = window_end / case2;
+    state.counters["case2_window_per_f"] = window_end / case2 / ff;
+  }
+}
+
+void BM_LowerBound_Ears(benchmark::State& state) {
+  run_case(state, GossipAlgorithm::kEars);
+}
+void BM_LowerBound_Lazy(benchmark::State& state) {
+  run_case(state, GossipAlgorithm::kLazy);
+}
+void BM_LowerBound_Trivial(benchmark::State& state) {
+  run_case(state, GossipAlgorithm::kTrivial);
+}
+
+BENCHMARK(BM_LowerBound_Ears)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Iterations(kIterations);
+BENCHMARK(BM_LowerBound_Lazy)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Iterations(kIterations);
+BENCHMARK(BM_LowerBound_Trivial)
+    ->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(kIterations);
+
+}  // namespace
+}  // namespace asyncgossip::bench

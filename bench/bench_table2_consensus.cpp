@@ -1,0 +1,106 @@
+// Table 2 reproduction: consensus protocols under an oblivious adversary,
+// f < n/2.
+//
+//   rows     : CR (all-to-all get-core), CR-ears, CR-sears, CR-tears
+//   args     : {n, d, delta}; f = n/2 - 1 (the regime the paper assumes)
+//   counters : msgs_dec (messages until the last correct process decides),
+//              msgs_total (until quiescence), steps_dec, phases,
+//              agree_ok / valid_ok rates, reannounce (liveness fallback
+//              firings — should be ~0)
+//
+// Expected shapes (paper):
+//   CR       : msgs ~ n^2,            steps ~ (d + delta)
+//   CR-ears  : msgs ~ n log^3 n dd,   steps ~ log^2 n (d + delta)
+//   CR-sears : msgs ~ n^{1+eps}...,   steps ~ (d + delta) / eps
+//   CR-tears : msgs ~ n^{7/4} log^2 n, steps ~ (d + delta)
+#include <benchmark/benchmark.h>
+
+#include "consensus/canetti_rabin.h"
+
+namespace asyncgossip::bench {
+namespace {
+
+constexpr int kIterations = 3;
+
+void run_case(benchmark::State& state, ExchangeKind kind, double epsilon) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Time d = static_cast<Time>(state.range(1));
+  const Time delta = static_cast<Time>(state.range(2));
+
+  ConsensusSpec spec;
+  spec.config.n = n;
+  spec.config.f = n / 2 - 1;
+  spec.config.exchange = kind;
+  spec.config.sears_epsilon = epsilon;
+  spec.config.tears_a_constant = 1.0;
+  spec.config.tears_kappa_constant = 1.0;
+  spec.d = d;
+  spec.delta = delta;
+  spec.schedule =
+      delta == 1 ? SchedulePattern::kLockStep : SchedulePattern::kStaggered;
+  spec.delay = d == 1 ? DelayPattern::kUnitDelay : DelayPattern::kUniform;
+  spec.inputs = InputPattern::kHalfHalf;
+
+  double msgs_dec = 0, msgs_total = 0, steps_dec = 0, phases = 0,
+         reannounce = 0;
+  int agree = 0, valid = 0, runs = 0;
+  std::uint64_t seed = 40009;
+  for (auto _ : state) {
+    spec.seed = seed++;
+    spec.config.seed = spec.seed;
+    const ConsensusOutcome out = run_consensus_spec(spec);
+    if (!out.all_decided) {
+      state.SkipWithError("consensus did not terminate within the budget");
+      return;
+    }
+    ++runs;
+    msgs_dec += static_cast<double>(out.messages_at_decision);
+    msgs_total += static_cast<double>(out.total_messages);
+    steps_dec += static_cast<double>(out.decision_time);
+    phases += static_cast<double>(out.decision_phase);
+    reannounce += static_cast<double>(out.reannouncements);
+    agree += out.agreement ? 1 : 0;
+    valid += out.validity ? 1 : 0;
+    benchmark::DoNotOptimize(out.total_messages);
+  }
+  const double r = runs;
+  state.counters["msgs_dec"] = msgs_dec / r;
+  state.counters["msgs_total"] = msgs_total / r;
+  state.counters["steps_dec"] = steps_dec / r;
+  state.counters["steps_per_dd"] = steps_dec / r / static_cast<double>(d + delta);
+  state.counters["phases"] = phases / r;
+  state.counters["agree_ok"] = agree / r;
+  state.counters["valid_ok"] = valid / r;
+  state.counters["reannounce"] = reannounce / r;
+}
+
+void BM_CR(benchmark::State& state) {
+  run_case(state, ExchangeKind::kAllToAll, 0.5);
+}
+void BM_CR_Ears(benchmark::State& state) {
+  run_case(state, ExchangeKind::kEars, 0.5);
+}
+void BM_CR_SearsQuarter(benchmark::State& state) {
+  run_case(state, ExchangeKind::kSears, 0.25);
+}
+void BM_CR_SearsHalf(benchmark::State& state) {
+  run_case(state, ExchangeKind::kSears, 0.5);
+}
+void BM_CR_Tears(benchmark::State& state) {
+  run_case(state, ExchangeKind::kTears, 0.5);
+}
+
+const std::vector<std::vector<std::int64_t>> kGrid = {
+    {32, 64, 128, 256},  // n
+    {1, 4},              // d
+    {1, 3},              // delta
+};
+
+BENCHMARK(BM_CR)->ArgsProduct(kGrid)->Iterations(kIterations);
+BENCHMARK(BM_CR_Ears)->ArgsProduct(kGrid)->Iterations(kIterations);
+BENCHMARK(BM_CR_SearsQuarter)->ArgsProduct(kGrid)->Iterations(kIterations);
+BENCHMARK(BM_CR_SearsHalf)->ArgsProduct(kGrid)->Iterations(kIterations);
+BENCHMARK(BM_CR_Tears)->ArgsProduct(kGrid)->Iterations(kIterations);
+
+}  // namespace
+}  // namespace asyncgossip::bench

@@ -1,0 +1,85 @@
+// TEARS internals (Lemmas 8-11 sanity): per-step send bands, second-level
+// batch counts, rumor coverage, and the d-independence of its message
+// complexity.
+//
+//   args     : {n}; f = n/2 - 1 (the regime of Section 5)
+//   counters : msgs, msgs_per_n74 (the n^{7/4} constant), steps,
+//              min_rumors (worst coverage across correct processes; the
+//              majority threshold is n/2 + 1), mean_bcasts (second-level
+//              batches per process; Lemma 8 bounds this by
+//              2 kappa + 1 + received/kappa), majority_ok
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "gossip/completion.h"
+#include "gossip/tears.h"
+
+namespace asyncgossip::bench {
+namespace {
+
+constexpr int kIterations = 3;
+
+void BM_TearsInternals(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Time d = static_cast<Time>(state.range(1));
+
+  double msgs = 0, steps = 0, min_rumors = 0, mean_bcasts = 0;
+  int majority = 0, runs = 0;
+  std::uint64_t seed = 50021;
+  for (auto _ : state) {
+    GossipSpec spec = base_spec(GossipAlgorithm::kTears, n, n / 2 - 1, d, 2);
+    spec.schedule = SchedulePattern::kStaggered;
+    spec.tears_a_constant = 1.0;
+    spec.tears_kappa_constant = 1.0;
+    spec.seed = seed++;
+
+    Engine engine = make_gossip_engine(spec);
+    const GossipOutcome out = run_gossip(engine, default_step_budget(spec));
+    if (!out.completed) {
+      state.SkipWithError("tears run did not quiesce");
+      return;
+    }
+    ++runs;
+    msgs += static_cast<double>(out.messages);
+    steps += static_cast<double>(out.completion_time);
+    majority += out.majority_ok ? 1 : 0;
+
+    std::size_t worst = n;
+    double bcasts = 0;
+    std::size_t alive = 0;
+    for (ProcessId p = 0; p < engine.n(); ++p) {
+      if (engine.crashed(p)) continue;
+      const auto& tp = engine.process_as<TearsProcess>(p);
+      worst = std::min(worst, tp.rumors().count());
+      bcasts += static_cast<double>(tp.second_level_batches_sent());
+      ++alive;
+    }
+    min_rumors += static_cast<double>(worst);
+    mean_bcasts += bcasts / static_cast<double>(alive);
+    benchmark::DoNotOptimize(out.messages);
+  }
+  const double r = runs;
+  state.counters["msgs"] = msgs / r;
+  state.counters["msgs_per_n74"] =
+      msgs / r / std::pow(static_cast<double>(n), 1.75);
+  state.counters["steps"] = steps / r;
+  state.counters["min_rumors"] = min_rumors / r;
+  state.counters["majority_need"] = static_cast<double>(n / 2 + 1);
+  state.counters["mean_bcasts"] = mean_bcasts / r;
+  state.counters["majority_ok"] = majority / r;
+}
+
+// n sweep at d = 1 (growth exponent), plus a d sweep at fixed n (message
+// count must not scale with d — the headline Section 5 property).
+BENCHMARK(BM_TearsInternals)
+    ->ArgsProduct({{256, 512, 1024, 2048, 4096}, {1}})
+    ->Iterations(kIterations);
+BENCHMARK(BM_TearsInternals)
+    ->ArgsProduct({{1024}, {1, 4, 16, 64}})
+    ->Iterations(kIterations);
+
+}  // namespace
+}  // namespace asyncgossip::bench

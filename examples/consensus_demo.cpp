@@ -1,0 +1,71 @@
+// Consensus demo: commit/abort agreement over CR-tears — the paper's
+// headline application (Section 6): the first asynchronous randomized
+// consensus with constant time (w.r.t. n) and strictly subquadratic
+// message complexity, here under a hostile-but-legal oblivious schedule.
+//
+//   $ ./consensus_demo [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "consensus/canetti_rabin.h"
+
+using namespace asyncgossip;
+
+namespace {
+
+ConsensusOutcome run_one(ExchangeKind kind, std::size_t n,
+                         std::uint64_t seed) {
+  ConsensusSpec spec;
+  spec.config.n = n;
+  spec.config.f = n / 2 - 1;  // maximum tolerated minority of crashes
+  spec.config.exchange = kind;
+  spec.config.seed = seed;
+  spec.config.tears_a_constant = 1.0;
+  spec.config.tears_kappa_constant = 1.0;
+  spec.d = 6;
+  spec.delta = 4;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.delay = DelayPattern::kBimodal;
+  spec.inputs = InputPattern::kHalfHalf;  // worst case: a split electorate
+  spec.seed = seed;
+  return run_consensus_spec(spec);
+}
+
+void report(const char* name, const ConsensusOutcome& o, std::size_t n) {
+  std::printf(
+      "%-10s decided=%s value=%s phase=%u  time=%llu steps  msgs=%llu "
+      "(n^2=%zu)  agreement=%s validity=%s\n",
+      name, o.all_decided ? "yes" : "NO",
+      o.decided_value == 0 ? "abort" : "commit", o.decision_phase,
+      static_cast<unsigned long long>(o.decision_time),
+      static_cast<unsigned long long>(o.messages_at_decision), n * n,
+      o.agreement ? "ok" : "VIOLATED", o.validity ? "ok" : "VIOLATED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 18;
+
+  std::printf(
+      "binary consensus (commit/abort), n=%zu, f=%zu crash budget,\n"
+      "split inputs, staggered speeds, bimodal delays, seed=%llu\n\n",
+      n, n / 2 - 1, static_cast<unsigned long long>(seed));
+
+  const ConsensusOutcome tears = run_one(ExchangeKind::kTears, n, seed);
+  const ConsensusOutcome baseline = run_one(ExchangeKind::kAllToAll, n, seed);
+
+  report("CR-tears", tears, n);
+  report("CR", baseline, n);
+
+  if (tears.all_decided && baseline.all_decided) {
+    std::printf(
+        "\nCR-tears used %.1f%% of the baseline's messages to decide.\n",
+        100.0 * static_cast<double>(tears.messages_at_decision) /
+            static_cast<double>(baseline.messages_at_decision));
+  }
+  return tears.all_decided && tears.agreement && tears.validity ? 0 : 1;
+}

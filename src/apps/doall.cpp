@@ -1,0 +1,147 @@
+#include "apps/doall.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+DoAllProcess::DoAllProcess(ProcessId id, DoAllConfig config)
+    : id_(id),
+      config_(config),
+      rng_(config.seed ^ (0xD0A11ULL + id)),
+      known_done_(config.tasks) {
+  AG_ASSERT_MSG(config_.n >= 1 && id < config_.n, "bad process id / n");
+  AG_ASSERT_MSG(config_.tasks >= 1, "do-all needs at least one task");
+  AG_ASSERT_MSG(config_.fanout >= 1 && config_.fanout <= config_.n,
+                "bad fanout");
+}
+
+bool DoAllProcess::quiescent() const {
+  if (steps_taken_ == 0) return false;
+  return all_done() && (!config_.share_knowledge ||
+                        sleep_cnt_ >= config_.shutdown_steps);
+}
+
+void DoAllProcess::step(StepContext& ctx) {
+  for (const Envelope& env : ctx.received()) {
+    const auto* m = payload_cast<DoAllPayload>(env);
+    if (m != nullptr && known_done_.merge(m->done)) cached_.reset();
+  }
+
+  // Execute one not-known-done task, chosen uniformly at random so that
+  // concurrent processes rarely collide on the same task.
+  if (!all_done()) {
+    const std::size_t remaining = config_.tasks - known_done_.count();
+    std::size_t pick = rng_.uniform(remaining);
+    // Find the pick-th clear bit.
+    for (std::size_t t = 0; t < config_.tasks; ++t) {
+      if (known_done_.test(t)) continue;
+      if (pick == 0) {
+        known_done_.set(t);
+        cached_.reset();
+        ++executions_;
+        break;
+      }
+      --pick;
+    }
+  }
+
+  if (all_done()) {
+    ++sleep_cnt_;
+  } else {
+    sleep_cnt_ = 0;
+  }
+
+  if (config_.share_knowledge && sleep_cnt_ <= config_.shutdown_steps) {
+    if (!cached_) {
+      auto snap = std::make_shared<DoAllPayload>();
+      snap->done = known_done_;
+      cached_ = std::move(snap);
+    }
+    if (config_.fanout == 1) {
+      ctx.send(static_cast<ProcessId>(rng_.uniform(config_.n)), cached_);
+    } else {
+      for (std::uint64_t q :
+           rng_.sample_without_replacement(config_.n, config_.fanout))
+        ctx.send(static_cast<ProcessId>(q), cached_);
+    }
+  }
+  ++steps_taken_;
+}
+
+std::unique_ptr<Process> DoAllProcess::clone() const {
+  return std::make_unique<DoAllProcess>(*this);
+}
+
+DoAllOutcome run_doall(const DoAllSpec& spec) {
+  const std::size_t n = spec.config.n;
+  AG_ASSERT_MSG(n >= 2, "do-all spec needs n >= 2");
+  AG_ASSERT_MSG(spec.f < n, "do-all spec needs f < n");
+
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    DoAllConfig cfg = spec.config;
+    cfg.seed = spec.config.seed ^ (spec.seed * 0x9E3779B97F4A7C15ULL);
+    procs.push_back(
+        std::make_unique<DoAllProcess>(static_cast<ProcessId>(p), cfg));
+  }
+
+  ObliviousConfig adv;
+  adv.n = n;
+  adv.d = spec.d;
+  adv.delta = spec.delta;
+  adv.schedule = spec.schedule;
+  adv.delay = spec.d == 1 ? DelayPattern::kUnitDelay : DelayPattern::kUniform;
+  adv.crash_plan = random_crashes(n, spec.f, spec.crash_horizon,
+                                  spec.seed ^ 0xD0A11F417ULL);
+  adv.seed = spec.seed ^ 0xAD7D0A11ULL;
+
+  EngineConfig ecfg;
+  ecfg.d = spec.d;
+  ecfg.delta = spec.delta;
+  ecfg.max_crashes = spec.f;
+
+  Engine engine(std::move(procs), std::make_unique<ObliviousAdversary>(adv),
+                ecfg);
+
+  const auto quiet = [](const Engine& e) {
+    if (!e.network_empty()) return false;
+    for (ProcessId p = 0; p < e.n(); ++p) {
+      if (e.crashed(p)) continue;
+      if (!e.process_as<DoAllProcess>(p).quiescent()) return false;
+    }
+    return true;
+  };
+
+  Time budget = spec.max_steps;
+  if (budget == 0) {
+    budget = static_cast<Time>(
+        64.0 * (static_cast<double>(spec.config.tasks) +
+                std::log2(static_cast<double>(n)) + 16.0) *
+        static_cast<double>(spec.d + spec.delta));
+  }
+
+  DoAllOutcome out;
+  out.completed = engine.run_until(quiet, budget);
+  const Metrics& m = engine.metrics();
+  out.completion_time = m.any_send() ? m.last_send_time() + 1 : engine.now();
+  out.messages = m.messages_sent();
+  out.alive = engine.alive_count();
+
+  DynamicBitset executed_union(spec.config.tasks);
+  bool all_know = true;
+  for (ProcessId p = 0; p < engine.n(); ++p) {
+    const auto& dp = engine.process_as<DoAllProcess>(p);
+    out.total_work += dp.executions();
+    if (engine.crashed(p)) continue;
+    executed_union |= dp.known_done();
+    if (!dp.all_done()) all_know = false;
+  }
+  out.tasks_executed = executed_union.count();
+  out.completed = out.completed && all_know;
+  return out;
+}
+
+}  // namespace asyncgossip

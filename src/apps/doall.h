@@ -1,0 +1,102 @@
+// Do-All on top of epidemic gossip — the second application the paper
+// points majority gossip at (Chlebus-Gasieniec-Kowalski-Shvartsman,
+// "Bounding work and communication in robust cooperative computation",
+// the paper's reference [7]).
+//
+// Problem: n crash-prone processes must cooperatively perform t idempotent
+// tasks; the complexity measure is *work* — the total number of task
+// executions, including redundant ones. The naive fault-oblivious strategy
+// (everyone does everything) costs n*t work; gossip lets processes share
+// "task j is done" knowledge so survivors stop re-executing completed
+// tasks.
+//
+// Protocol, per local step:
+//   1. merge received <done-set, rumor-set> payloads;
+//   2. execute one task chosen uniformly among those not known done
+//      (random order makes collisions between processes unlikely);
+//   3. epidemic push of the accumulated knowledge to `fanout` random
+//      targets, with an EARS-style quiescence rule: once every task is
+//      known done, keep gossiping for `shutdown_steps` further steps so
+//      stragglers learn it too, then sleep.
+//
+// Expected work with gossip: t + o(t) + O(n log t)-ish redundant
+// executions under benign schedules, versus Theta(n t) without sharing —
+// the contrast bench_ablation / tests measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "sim/oblivious.h"
+#include "sim/process.h"
+
+namespace asyncgossip {
+
+struct DoAllPayload final : Payload {
+  DynamicBitset done;  // t bits
+  std::size_t byte_size() const override { return done.byte_size(); }
+};
+
+struct DoAllConfig {
+  std::size_t n = 0;
+  std::size_t tasks = 0;
+  /// Gossip fanout per step (1 = EARS-like).
+  std::size_t fanout = 1;
+  /// Extra gossip steps after all tasks are known done.
+  std::uint64_t shutdown_steps = 8;
+  /// If false, knowledge sharing is disabled (the n*t strawman).
+  bool share_knowledge = true;
+  std::uint64_t seed = 1;
+};
+
+class DoAllProcess final : public Process {
+ public:
+  DoAllProcess(ProcessId id, DoAllConfig config);
+
+  void step(StepContext& ctx) override;
+  std::unique_ptr<Process> clone() const override;
+  void reseed(std::uint64_t seed) override { rng_ = Xoshiro256SS(seed); }
+
+  const DynamicBitset& known_done() const { return known_done_; }
+  std::uint64_t executions() const { return executions_; }
+  bool all_done() const { return known_done_.all(); }
+  bool quiescent() const;
+
+ private:
+  ProcessId id_;
+  DoAllConfig config_;
+  Xoshiro256SS rng_;
+  DynamicBitset known_done_;  // tasks known to be executed by someone
+  std::uint64_t executions_ = 0;
+  std::uint64_t sleep_cnt_ = 0;
+  std::uint64_t steps_taken_ = 0;
+  std::shared_ptr<const DoAllPayload> cached_;
+};
+
+struct DoAllOutcome {
+  bool completed = false;  // every survivor knows every task done
+  std::uint64_t total_work = 0;
+  std::uint64_t messages = 0;
+  Time completion_time = 0;
+  std::size_t alive = 0;
+  /// Union of executed tasks across all processes (must equal t).
+  std::size_t tasks_executed = 0;
+};
+
+struct DoAllSpec {
+  DoAllConfig config;
+  std::size_t f = 0;
+  Time d = 1;
+  Time delta = 1;
+  SchedulePattern schedule = SchedulePattern::kLockStep;
+  Time crash_horizon = 32;
+  std::uint64_t seed = 1;
+  Time max_steps = 0;  // 0 = automatic
+};
+
+DoAllOutcome run_doall(const DoAllSpec& spec);
+
+}  // namespace asyncgossip

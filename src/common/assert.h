@@ -1,0 +1,51 @@
+// Always-on assertions for model invariants.
+//
+// The simulation engine enforces the paper's (d, delta) model contract at run
+// time; violations indicate a bug in an adversary or in the engine itself and
+// must never be silently ignored, so these checks are active in release
+// builds too (they guard O(1) conditions on hot paths).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asyncgossip {
+
+/// Thrown when an execution violates the partially-synchronous model contract
+/// (e.g. a message outlives its delivery bound d, or a live process is left
+/// unscheduled for more than delta steps in strict mode).
+class ModelViolation : public std::logic_error {
+ public:
+  explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on misuse of the library API (bad parameters, out-of-range ids).
+class ApiError : public std::invalid_argument {
+ public:
+  explicit ApiError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ModelViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace asyncgossip
+
+#define AG_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::asyncgossip::detail::assert_fail(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define AG_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::asyncgossip::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

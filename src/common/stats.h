@@ -1,0 +1,41 @@
+// Small statistics helpers shared by tests, benches and EXPERIMENTS tooling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace asyncgossip {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::vector<double> sample);
+
+/// Ordinary least squares fit of y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y = c * x^alpha by regressing log y on log x; returns alpha and r².
+/// Benches use this to report measured growth exponents next to the paper's
+/// claimed asymptotics. All inputs must be positive.
+struct PowerFit {
+  double exponent = 0.0;
+  double coefficient = 0.0;
+  double r2 = 0.0;
+};
+
+PowerFit power_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace asyncgossip

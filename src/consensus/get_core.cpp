@@ -1,0 +1,74 @@
+#include "consensus/get_core.h"
+
+namespace asyncgossip {
+
+const char* to_string(ExchangeKind kind) {
+  switch (kind) {
+    case ExchangeKind::kAllToAll:
+      return "all-to-all";
+    case ExchangeKind::kEars:
+      return "ears";
+    case ExchangeKind::kSears:
+      return "sears";
+    case ExchangeKind::kTears:
+      return "tears";
+  }
+  return "?";
+}
+
+bool InstanceState::merge(const InstanceState& other) {
+  bool changed = origins.merge(other.origins);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i] == kValUnknown && other.items[i] != kValUnknown) {
+      items[i] = other.items[i];
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+Val evaluate_estimate_votes(const InstanceState& collected) {
+  bool saw0 = false, saw1 = false;
+  for (Val v : collected.items) {
+    if (v == 0) saw0 = true;
+    if (v == 1) saw1 = true;
+  }
+  if (saw0 && !saw1) return 0;
+  if (saw1 && !saw0) return 1;
+  return kValBot;
+}
+
+PreferenceOutcome evaluate_preference_votes(const InstanceState& collected) {
+  bool saw0 = false, saw1 = false, saw_bot = false;
+  for (Val v : collected.items) {
+    if (v == 0) saw0 = true;
+    if (v == 1) saw1 = true;
+    if (v == kValBot) saw_bot = true;
+  }
+  PreferenceOutcome out;
+  if (saw0 && saw1) {
+    // Two processes each saw a unanimous (majority-core-backed) estimate
+    // vote for different values — excluded by the common-core property.
+    out.conflict = true;
+    return out;
+  }
+  if (saw0 || saw1) {
+    const Val v = saw0 ? Val{0} : Val{1};
+    if (!saw_bot) {
+      out.decide = true;
+      out.decision = v;
+    }
+    out.adopt = v;
+  }
+  return out;
+}
+
+Val evaluate_coin(const InstanceState& collected) {
+  for (Val v : collected.items)
+    if (v == 0) return 0;
+  return 1;
+}
+
+std::size_t majority_threshold(std::size_t n) { return n / 2 + 1; }
+
+}  // namespace asyncgossip

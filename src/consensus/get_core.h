@@ -1,0 +1,46 @@
+// Pure get-core evaluation logic, factored out of the process class for
+// direct unit testing.
+//
+// get-core returns the union item set collected after three sub-instances.
+// The framework consumes that set per exchange:
+//  * estimate votes : if every observed vote equals v in {0,1}, the
+//    preference y becomes v, else bot;
+//  * preference votes: if every observed value is the same v != bot the
+//    process decides v; else if some v != bot is present it adopts v as its
+//    next estimate; otherwise it falls back to the common coin;
+//  * coin exchange  : each process contributes 0 with probability 1/n
+//    (else 1); the coin result is 0 iff any 0 was observed. Both outcomes
+//    then have constant probability of being *unanimous* across processes,
+//    which is what gives the expected-constant phase count.
+#pragma once
+
+#include <cstddef>
+
+#include "consensus/core_types.h"
+
+namespace asyncgossip {
+
+/// Result of consuming the estimate-vote exchange: the preference y.
+Val evaluate_estimate_votes(const InstanceState& collected);
+
+struct PreferenceOutcome {
+  bool decide = false;
+  Val decision = kValUnknown;
+  /// Next estimate if a non-bot preference was observed (kValUnknown if
+  /// the coin must be used).
+  Val adopt = kValUnknown;
+  /// Two distinct non-bot preferences were observed. Impossible when the
+  /// common-core property holds; counted as a diagnostic and treated as
+  /// "fall back to the coin".
+  bool conflict = false;
+};
+
+PreferenceOutcome evaluate_preference_votes(const InstanceState& collected);
+
+/// Coin result: 0 iff any observed coin vote is 0.
+Val evaluate_coin(const InstanceState& collected);
+
+/// Majority threshold used by the gossip-backed exchanges: floor(n/2) + 1.
+std::size_t majority_threshold(std::size_t n);
+
+}  // namespace asyncgossip

@@ -1,0 +1,58 @@
+#include "gossip/completion.h"
+
+#include "common/assert.h"
+#include "gossip/rumor.h"
+
+namespace asyncgossip {
+
+bool gossip_quiet(const Engine& engine) {
+  if (!engine.network_empty()) return false;
+  for (ProcessId p = 0; p < engine.n(); ++p) {
+    if (engine.crashed(p)) continue;
+    const auto* gp = dynamic_cast<const GossipProcess*>(&engine.process(p));
+    AG_ASSERT_MSG(gp != nullptr, "gossip_quiet needs GossipProcess instances");
+    if (!gp->quiescent()) return false;
+  }
+  return true;
+}
+
+bool check_gathering(const Engine& engine) {
+  DynamicBitset correct(engine.n());
+  for (ProcessId p = 0; p < engine.n(); ++p)
+    if (!engine.crashed(p)) correct.set(p);
+  for (ProcessId p = 0; p < engine.n(); ++p) {
+    if (engine.crashed(p)) continue;
+    const auto& gp = engine.process_as<GossipProcess>(p);
+    if (!correct.subset_of(gp.rumors())) return false;
+  }
+  return true;
+}
+
+bool check_majority(const Engine& engine) {
+  const std::size_t need = engine.n() / 2 + 1;
+  for (ProcessId p = 0; p < engine.n(); ++p) {
+    if (engine.crashed(p)) continue;
+    const auto& gp = engine.process_as<GossipProcess>(p);
+    if (gp.rumors().count() < need) return false;
+  }
+  return true;
+}
+
+GossipOutcome run_gossip(Engine& engine, Time max_steps) {
+  GossipOutcome out;
+  out.completed = engine.run_until(gossip_quiet, max_steps);
+  out.detection_time = engine.now();
+  const Metrics& m = engine.metrics();
+  out.completion_time = m.any_send() ? m.last_send_time() + 1 : 0;
+  out.messages = m.messages_sent();
+  out.bytes = m.bytes_sent();
+  out.realized_d = m.realized_d();
+  out.realized_delta = m.realized_delta();
+  out.alive = engine.alive_count();
+  out.crashes = engine.crashes_so_far();
+  out.gathering_ok = check_gathering(engine);
+  out.majority_ok = check_majority(engine);
+  return out;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,158 @@
+#include "gossip/harness.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "gossip/epidemic.h"
+#include "gossip/lazy.h"
+#include "gossip/roundrobin.h"
+#include "gossip/sync_gossip.h"
+#include "gossip/tears.h"
+#include "gossip/trivial.h"
+
+namespace asyncgossip {
+
+const char* to_string(GossipAlgorithm algorithm) {
+  switch (algorithm) {
+    case GossipAlgorithm::kTrivial:
+      return "trivial";
+    case GossipAlgorithm::kEars:
+      return "ears";
+    case GossipAlgorithm::kSears:
+      return "sears";
+    case GossipAlgorithm::kTears:
+      return "tears";
+    case GossipAlgorithm::kSync:
+      return "sync";
+    case GossipAlgorithm::kEarsNoInformedList:
+      return "ears-no-informed-list";
+    case GossipAlgorithm::kLazy:
+      return "lazy";
+    case GossipAlgorithm::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+std::vector<std::unique_ptr<Process>> make_gossip_processes(
+    const GossipSpec& spec) {
+  AG_ASSERT_MSG(spec.n >= 2, "gossip spec needs n >= 2");
+  AG_ASSERT_MSG(spec.f < spec.n, "gossip spec needs f < n");
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(spec.n);
+  switch (spec.algorithm) {
+    case GossipAlgorithm::kTrivial:
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(std::make_unique<TrivialGossipProcess>(
+            static_cast<ProcessId>(p), spec.n));
+      break;
+    case GossipAlgorithm::kEars: {
+      const EpidemicConfig cfg = make_ears_config(
+          spec.n, spec.f, spec.seed, spec.ears_shutdown_constant);
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(std::make_unique<EpidemicGossipProcess>(
+            static_cast<ProcessId>(p), cfg));
+      break;
+    }
+    case GossipAlgorithm::kSears: {
+      const EpidemicConfig cfg =
+          make_sears_config(spec.n, spec.f, spec.sears_epsilon, spec.seed,
+                            spec.sears_fanout_constant);
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(std::make_unique<EpidemicGossipProcess>(
+            static_cast<ProcessId>(p), cfg));
+      break;
+    }
+    case GossipAlgorithm::kTears: {
+      TearsConfig cfg;
+      cfg.n = spec.n;
+      cfg.a_constant = spec.tears_a_constant;
+      cfg.kappa_constant = spec.tears_kappa_constant;
+      cfg.seed = spec.seed;
+      cfg.finalize();
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(
+            std::make_unique<TearsProcess>(static_cast<ProcessId>(p), cfg));
+      break;
+    }
+    case GossipAlgorithm::kSync: {
+      const std::uint64_t rounds =
+          make_sync_rounds(spec.n, spec.sync_rounds_constant);
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(std::make_unique<SyncGossipProcess>(
+            static_cast<ProcessId>(p), spec.n, rounds, spec.seed));
+      break;
+    }
+    case GossipAlgorithm::kEarsNoInformedList: {
+      EpidemicConfig cfg = make_ears_config(spec.n, spec.f, spec.seed,
+                                            spec.ears_shutdown_constant);
+      cfg.use_informed_list = false;
+      cfg.fallback_step_budget =
+          spec.fallback_step_budget != 0
+              ? spec.fallback_step_budget
+              // Conservative default: without the progress control the
+              // process cannot tell when dissemination finished, so it must
+              // budget for the worst legal schedule it was designed for.
+              : 8 * cfg.shutdown_steps;
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(std::make_unique<EpidemicGossipProcess>(
+            static_cast<ProcessId>(p), cfg));
+      break;
+    }
+    case GossipAlgorithm::kLazy:
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(std::make_unique<LazyGossipProcess>(
+            static_cast<ProcessId>(p), spec.n, spec.lazy_fanout, spec.seed));
+      break;
+    case GossipAlgorithm::kRoundRobin: {
+      const EpidemicConfig cfg = make_ears_config(
+          spec.n, spec.f, spec.seed, spec.ears_shutdown_constant);
+      for (std::size_t p = 0; p < spec.n; ++p)
+        procs.push_back(std::make_unique<RoundRobinGossipProcess>(
+            static_cast<ProcessId>(p), cfg));
+      break;
+    }
+  }
+  return procs;
+}
+
+Time default_step_budget(const GossipSpec& spec) {
+  // Generous: the claimed time complexities are at most
+  // n/(n-f) * log^2 n * (d + delta) up to constants; budget two orders of
+  // magnitude above to make non-termination failures unambiguous.
+  const double n = static_cast<double>(spec.n);
+  const double ratio = n / static_cast<double>(spec.n - spec.f);
+  const double lg = std::log2(n) + 1.0;
+  const double dd = static_cast<double>(spec.d + spec.delta);
+  const double budget = 400.0 * ratio * lg * lg * dd + 4096.0;
+  return static_cast<Time>(budget);
+}
+
+Engine make_gossip_engine(const GossipSpec& spec) {
+  ObliviousConfig adv;
+  adv.n = spec.n;
+  adv.d = spec.d;
+  adv.delta = spec.delta;
+  adv.schedule = spec.schedule;
+  adv.delay = spec.delay;
+  adv.crash_plan =
+      random_crashes(spec.n, spec.f, spec.crash_horizon, spec.seed ^ 0xF417ULL);
+  adv.seed = spec.seed ^ 0xAD7E25A27ULL;
+
+  EngineConfig ecfg;
+  ecfg.d = spec.d;
+  ecfg.delta = spec.delta;
+  ecfg.max_crashes = spec.f;
+
+  return Engine(make_gossip_processes(spec),
+                std::make_unique<ObliviousAdversary>(adv), ecfg);
+}
+
+GossipOutcome run_gossip_spec(const GossipSpec& spec) {
+  Engine engine = make_gossip_engine(spec);
+  const Time budget =
+      spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
+  return run_gossip(engine, budget);
+}
+
+}  // namespace asyncgossip

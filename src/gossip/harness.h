@@ -1,0 +1,78 @@
+// One-call experiment harness: build processes + oblivious adversary +
+// engine from a declarative spec, run to quiescence, return the outcome.
+// Tests, benches and examples all funnel through this, so every experiment
+// is reproducible from its GossipSpec alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gossip/completion.h"
+#include "sim/engine.h"
+#include "sim/oblivious.h"
+
+namespace asyncgossip {
+
+enum class GossipAlgorithm {
+  kTrivial,
+  kEars,
+  kSears,
+  kTears,
+  kSync,
+  /// EARS with the informed-list progress control disabled (ablation):
+  /// quiescence falls back to a fixed local-step budget.
+  kEarsNoInformedList,
+  /// Message-frugal cascading foil for the Theorem 1 Case 2 construction
+  /// (see gossip/lazy.h); not a Table 1 contender.
+  kLazy,
+  /// Deterministic EARS variant: cyclic instead of random targets (the
+  /// paper's open question about deterministic asynchronous gossip).
+  kRoundRobin,
+};
+
+const char* to_string(GossipAlgorithm algorithm);
+
+struct GossipSpec {
+  GossipAlgorithm algorithm = GossipAlgorithm::kEars;
+  std::size_t n = 0;
+  std::size_t f = 0;  // crash budget; also the algorithms' tolerance knob
+  Time d = 1;
+  Time delta = 1;
+  std::uint64_t seed = 1;
+
+  // Adversary shape. Crash times are drawn in [0, crash_horizon).
+  SchedulePattern schedule = SchedulePattern::kLockStep;
+  DelayPattern delay = DelayPattern::kUniform;
+  Time crash_horizon = 64;
+
+  // Algorithm knobs (defaults match the paper; see module headers).
+  double sears_epsilon = 0.5;
+  double sears_fanout_constant = 1.0;
+  double ears_shutdown_constant = 4.0;
+  double tears_a_constant = 4.0;
+  double tears_kappa_constant = 8.0;
+  double sync_rounds_constant = 3.0;
+  std::size_t lazy_fanout = 2;
+  std::uint64_t fallback_step_budget = 0;  // kEarsNoInformedList only
+
+  /// Step budget for the run; 0 = an automatic generous bound.
+  Time max_steps = 0;
+};
+
+/// Builds the process vector for a spec (exposed so consensus and the
+/// lower-bound driver can reuse algorithm construction).
+std::vector<std::unique_ptr<Process>> make_gossip_processes(
+    const GossipSpec& spec);
+
+/// Builds the engine (processes + oblivious adversary per spec).
+Engine make_gossip_engine(const GossipSpec& spec);
+
+/// Runs the spec to quiescence and reports the outcome.
+GossipOutcome run_gossip_spec(const GossipSpec& spec);
+
+/// Default step budget used when spec.max_steps == 0.
+Time default_step_budget(const GossipSpec& spec);
+
+}  // namespace asyncgossip

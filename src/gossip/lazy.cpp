@@ -1,0 +1,38 @@
+#include "gossip/lazy.h"
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+LazyGossipProcess::LazyGossipProcess(ProcessId id, std::size_t n,
+                                     std::size_t fanout, std::uint64_t seed)
+    : id_(id),
+      n_(n),
+      fanout_(fanout),
+      rng_(seed ^ (0x1A2B0000ULL + id)),
+      rumors_(n) {
+  AG_ASSERT_MSG(n > 0 && id < n, "bad process id / n");
+  AG_ASSERT_MSG(fanout >= 1 && fanout <= n, "bad fanout");
+  rumors_.set(id_);
+}
+
+void LazyGossipProcess::step(StepContext& ctx) {
+  bool novel = steps_taken_ == 0;  // the initial send is unconditional
+  for (const Envelope& env : ctx.received()) {
+    const auto* m = payload_cast<LazyPayload>(env);
+    if (m != nullptr && rumors_.merge(m->rumors)) novel = true;
+  }
+  if (novel) {
+    auto payload = std::make_shared<LazyPayload>();
+    payload->rumors = rumors_;
+    for (std::uint64_t q : rng_.sample_without_replacement(n_, fanout_))
+      ctx.send(static_cast<ProcessId>(q), payload);
+  }
+  ++steps_taken_;
+}
+
+std::unique_ptr<Process> LazyGossipProcess::clone() const {
+  return std::make_unique<LazyGossipProcess>(*this);
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,78 @@
+#include "gossip/pushpull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+PushPullProcess::PushPullProcess(ProcessId id, PushPullConfig config)
+    : id_(id),
+      config_(config),
+      rng_(config.seed ^ (0x9055B011ULL + id)),
+      rumors_(config.n),
+      informed_(id == config.initiator) {
+  AG_ASSERT_MSG(config_.n >= 2 && id < config_.n, "bad process id / n");
+  AG_ASSERT_MSG(config_.initiator < config_.n, "bad initiator");
+  rumors_.set(id_);
+  if (informed_) rumors_.set(config_.initiator);
+  const double lg = std::log2(static_cast<double>(std::max<std::size_t>(config_.n, 4)));
+  const double lglg = std::log2(std::max(lg, 2.0));
+  counter_cap_ =
+      static_cast<std::uint64_t>(std::ceil(config_.counter_constant * lglg)) + 1;
+  round_cap_ =
+      static_cast<std::uint64_t>(std::ceil(config_.round_constant * lg)) + 1;
+}
+
+bool PushPullProcess::quiescent() const {
+  if (steps_taken_ == 0) return false;
+  return steps_taken_ >= round_cap_ || (informed_ && counter_ >= counter_cap_);
+}
+
+void PushPullProcess::step(StepContext& ctx) {
+  // Receive: learn the rumor from pushes/replies; answer pull requests if
+  // informed. Meeting an informed peer bumps the stopping counter.
+  std::vector<ProcessId> pull_requests;
+  bool met_informed = false;
+  for (const Envelope& env : ctx.received()) {
+    const auto* m = payload_cast<PushPullPayload>(env);
+    if (m == nullptr) continue;
+    if (m->informed) {
+      if (!informed_) {
+        informed_ = true;
+        rumors_.set(config_.initiator);
+      } else {
+        met_informed = true;
+      }
+    } else if (informed_) {
+      pull_requests.push_back(env.from);
+    }
+  }
+  if (met_informed) ++counter_;
+
+  const bool active =
+      steps_taken_ < round_cap_ && !(informed_ && counter_ >= counter_cap_);
+  if (active) {
+    auto contact = std::make_shared<PushPullPayload>();
+    contact->informed = informed_;
+    ctx.send(static_cast<ProcessId>(rng_.uniform(config_.n)), contact);
+    if (informed_) ++transmissions_;
+  }
+  // Pull replies are always answered (they cost one message each and die
+  // out as soon as everyone is informed).
+  if (!pull_requests.empty()) {
+    auto reply = std::make_shared<PushPullPayload>();
+    reply->informed = true;
+    for (ProcessId q : pull_requests) ctx.send(q, reply);
+    transmissions_ += pull_requests.size();
+  }
+
+  ++steps_taken_;
+}
+
+std::unique_ptr<Process> PushPullProcess::clone() const {
+  return std::make_unique<PushPullProcess>(*this);
+}
+
+}  // namespace asyncgossip

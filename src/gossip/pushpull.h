@@ -1,0 +1,86 @@
+// Push-pull rumor spreading with a counter-based stopping rule — the
+// synchronous single-rumor reference point of Karp, Schindelhauer, Shenker
+// and Voecking (FOCS 2000), the paper's reference [19]: a single rumor
+// reaches all n processes in O(log n) rounds using O(n log log n)
+// transmissions, w.h.p.
+//
+// Each round every process contacts one uniform partner. The contact is a
+// *push* if the caller is informed (it transmits the rumor) and a *pull
+// request* otherwise (an informed callee answers with the rumor). An
+// informed process increments a counter each round in which its contact
+// turned out to be already informed, and stops initiating contacts once the
+// counter passes ctr_cap = ceil(c * log2 log2 n) — the (simplified)
+// counter variant of [19]'s median-counter rule. A hard round cap of
+// O(log n) rounds guarantees quiescence on every execution.
+//
+// This is a *single-rumor* protocol: it exists as the synchronous
+// reference the paper contrasts against (its results all concern n-rumor
+// gossip), and as a calibration point for the bit-complexity extension
+// (push-pull messages are O(1) bits).
+//
+// Accounting note: [19] counts rumor *transmissions* (informed contacts and
+// pull answers); empty pull requests are free in their model. The engine
+// counts every point-to-point message, so total messages are O(n log n)
+// (each active process contacts once per round) while transmissions() —
+// the [19] measure — is O(n log log n).
+#pragma once
+
+#include <memory>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "gossip/rumor.h"
+
+namespace asyncgossip {
+
+struct PushPullPayload final : Payload {
+  bool informed = false;  // push (true) or pull request (false)
+  std::size_t byte_size() const override { return 1; }
+};
+
+struct PushPullConfig {
+  std::size_t n = 0;
+  ProcessId initiator = 0;
+  /// Counter cap multiplier; ctr_cap = ceil(c * log2 log2 n) + 1.
+  double counter_constant = 3.0;
+  /// Hard round cap multiplier; round_cap = ceil(c * log2 n) + 1.
+  double round_constant = 8.0;
+  std::uint64_t seed = 1;
+};
+
+class PushPullProcess final : public GossipProcess {
+ public:
+  PushPullProcess(ProcessId id, PushPullConfig config);
+
+  void step(StepContext& ctx) override;
+  std::unique_ptr<Process> clone() const override;
+  void reseed(std::uint64_t seed) override { rng_ = Xoshiro256SS(seed); }
+
+  /// rumors() = {self} plus the initiator's bit once informed, so the
+  /// generic completion machinery applies.
+  const DynamicBitset& rumors() const override { return rumors_; }
+  bool quiescent() const override;
+  std::uint64_t local_steps() const override { return steps_taken_; }
+
+  bool informed() const { return informed_; }
+  /// Rumor transmissions by this process (the [19] complexity measure):
+  /// informed contacts plus pull answers.
+  std::uint64_t transmissions() const { return transmissions_; }
+  std::uint64_t counter() const { return counter_; }
+  std::uint64_t counter_cap() const { return counter_cap_; }
+  std::uint64_t round_cap() const { return round_cap_; }
+
+ private:
+  ProcessId id_;
+  PushPullConfig config_;
+  Xoshiro256SS rng_;
+  DynamicBitset rumors_;
+  bool informed_;
+  std::uint64_t counter_ = 0;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t counter_cap_;
+  std::uint64_t round_cap_;
+  std::uint64_t steps_taken_ = 0;
+};
+
+}  // namespace asyncgossip

@@ -1,0 +1,30 @@
+// Gossip-facing process interface.
+//
+// Rumors are identified with their originating process: rumor r_p is "bit p".
+// A rumor set over n processes is a DynamicBitset of n bits. Validity (the
+// paper's requirement that only genuine initial rumors are ever added) holds
+// by construction in this representation: a set bit can only originate from
+// the owning process's initialization and spread by union.
+#pragma once
+
+#include "common/bitset.h"
+#include "sim/process.h"
+
+namespace asyncgossip {
+
+class GossipProcess : public Process {
+ public:
+  /// The rumor collection V(p).
+  virtual const DynamicBitset& rumors() const = 0;
+
+  /// True iff the process, given no further message receipts, will send no
+  /// further messages (EARS: asleep after the shut-down phase; TEARS: all
+  /// trigger-driven sends exhausted). A process that has not yet taken its
+  /// first local step is never quiescent.
+  virtual bool quiescent() const = 0;
+
+  /// Total local steps executed (the process's own step counter).
+  virtual std::uint64_t local_steps() const = 0;
+};
+
+}  // namespace asyncgossip

@@ -1,0 +1,43 @@
+#include "gossip/sync_gossip.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+SyncGossipProcess::SyncGossipProcess(ProcessId id, std::size_t n,
+                                     std::uint64_t rounds, std::uint64_t seed)
+    : id_(id),
+      n_(n),
+      rounds_(rounds),
+      rng_(seed ^ (0x53C40000ULL + id)),
+      rumors_(n) {
+  AG_ASSERT_MSG(n > 0 && id < n, "bad process id / n");
+  AG_ASSERT_MSG(rounds >= 1, "sync gossip needs >= 1 round");
+  rumors_.set(id_);
+}
+
+void SyncGossipProcess::step(StepContext& ctx) {
+  for (const Envelope& env : ctx.received()) {
+    const auto* m = payload_cast<SyncGossipPayload>(env);
+    if (m != nullptr) rumors_.merge(m->rumors);
+  }
+  if (steps_taken_ < rounds_) {
+    auto payload = std::make_shared<SyncGossipPayload>();
+    payload->rumors = rumors_;
+    ctx.send(static_cast<ProcessId>(rng_.uniform(n_)), payload);
+  }
+  ++steps_taken_;
+}
+
+std::unique_ptr<Process> SyncGossipProcess::clone() const {
+  return std::make_unique<SyncGossipProcess>(*this);
+}
+
+std::uint64_t make_sync_rounds(std::size_t n, double rounds_constant) {
+  const double log2n = std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
+  return static_cast<std::uint64_t>(std::ceil(rounds_constant * log2n)) + 1;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,55 @@
+// Synchronous epidemic gossip baseline (Table 1 row "CK [9]",
+// Corollary 2 denominator).
+//
+// This algorithm *knows* d = delta = 1 a priori: it runs for a fixed number
+// of rounds, R = ceil(rounds_constant * log2 n) + 1, pushing its full rumor
+// set to one uniform target per round, then stops unconditionally — exactly
+// the round-counting termination that is impossible in the asynchronous
+// setting (the paper's introduction explains why). With lock-step
+// scheduling this achieves all-to-all gossip in O(log n) rounds and
+// O(n log n) messages w.h.p., the standard randomized stand-in for the
+// deterministic Chlebus-Kowalski protocol (see DESIGN.md, substitutions).
+#pragma once
+
+#include <memory>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "gossip/rumor.h"
+
+namespace asyncgossip {
+
+struct SyncGossipPayload final : Payload {
+  DynamicBitset rumors;
+  std::size_t byte_size() const override { return rumors.byte_size(); }
+};
+
+class SyncGossipProcess final : public GossipProcess {
+ public:
+  /// `rounds` is the fixed round budget R; use make_sync_rounds() for the
+  /// default R = ceil(c * log2 n) + 1.
+  SyncGossipProcess(ProcessId id, std::size_t n, std::uint64_t rounds,
+                    std::uint64_t seed);
+
+  void step(StepContext& ctx) override;
+  std::unique_ptr<Process> clone() const override;
+
+  void reseed(std::uint64_t seed) override { rng_ = Xoshiro256SS(seed); }
+  const DynamicBitset& rumors() const override { return rumors_; }
+  bool quiescent() const override { return steps_taken_ >= rounds_; }
+  std::uint64_t local_steps() const override { return steps_taken_; }
+
+ private:
+  ProcessId id_;
+  std::size_t n_;
+  std::uint64_t rounds_;
+  Xoshiro256SS rng_;
+  DynamicBitset rumors_;
+  std::uint64_t steps_taken_ = 0;
+};
+
+/// Default synchronous round budget: ceil(c * log2 n) + 1 (c = 3 gives
+/// all-to-all dissemination w.h.p. for push-only epidemic spreading).
+std::uint64_t make_sync_rounds(std::size_t n, double rounds_constant = 3.0);
+
+}  // namespace asyncgossip

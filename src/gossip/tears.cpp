@@ -1,0 +1,112 @@
+#include "gossip/tears.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+void TearsConfig::finalize() {
+  AG_ASSERT_MSG(n >= 2, "TEARS needs n >= 2");
+  const double log2n = std::log2(static_cast<double>(n));
+  const double sqrtn = std::sqrt(static_cast<double>(n));
+  const double raw_a = a_constant * sqrtn * log2n;
+  // Pi sets exclude self, so the inclusion probability a/n is capped via
+  // a <= n-1 (the paper assumes n large enough that a << n).
+  a = static_cast<std::size_t>(
+      std::clamp(std::ceil(raw_a), 1.0, static_cast<double>(n - 1)));
+  mu = std::max<std::size_t>(1, a / 2);
+  const double raw_kappa =
+      kappa_constant * std::pow(static_cast<double>(n), 0.25) * log2n;
+  kappa = static_cast<std::size_t>(std::max(1.0, std::ceil(raw_kappa)));
+}
+
+TearsProcess::TearsProcess(ProcessId id, TearsConfig config)
+    : id_(id),
+      config_(config),
+      rng_(config.seed ^ (0x7EA55000ULL + id)),
+      rumors_(config.n) {
+  AG_ASSERT_MSG(config_.n > 0 && id < config_.n, "bad process id / n");
+  if (config_.a == 0) config_.finalize();
+  rumors_.set(id_);
+  // Select Pi1(p), Pi2(p): every q != p independently with probability a/n.
+  const double prob =
+      static_cast<double>(config_.a) / static_cast<double>(config_.n);
+  for (std::size_t q = 0; q < config_.n; ++q) {
+    if (q == id_) continue;
+    if (rng_.bernoulli(prob)) pi1_.push_back(static_cast<ProcessId>(q));
+    if (rng_.bernoulli(prob)) pi2_.push_back(static_cast<ProcessId>(q));
+  }
+}
+
+bool TearsProcess::broadcast_trigger_crossed(std::uint64_t before,
+                                             std::uint64_t after) const {
+  if (after == before) return false;
+  const std::uint64_t mu = config_.mu;
+  const std::uint64_t kappa = config_.kappa;
+  // Band trigger: some newly reached count value v in (before, after]
+  // satisfies mu - kappa <= v < mu + kappa.
+  const std::uint64_t band_lo = mu > kappa ? mu - kappa : 0;
+  const std::uint64_t band_hi_incl = mu + kappa - 1;
+  {
+    const std::uint64_t lo = std::max(before + 1, band_lo);
+    const std::uint64_t hi = std::min(after, band_hi_incl);
+    if (lo <= hi) return true;
+  }
+  // Lattice trigger: some v in (before, after] with v = mu + i*kappa, i >= 1.
+  if (after > mu) {
+    const std::uint64_t first = std::max(before + 1, mu + kappa);
+    if (first <= after) {
+      // smallest multiple-of-kappa offset >= first - mu
+      const std::uint64_t off = first - mu;
+      const std::uint64_t i = (off + kappa - 1) / kappa;
+      if (mu + i * kappa <= after) return true;
+    }
+  }
+  return false;
+}
+
+void TearsProcess::step(StepContext& ctx) {
+  sent_last_step_ = 0;
+  const std::uint64_t cnt_before = up_msg_cnt_;
+
+  // Receive: gather rumors, count first-level (flag-up) messages.
+  for (const Envelope& env : ctx.received()) {
+    const auto* m = payload_cast<TearsPayload>(env);
+    if (m == nullptr) continue;
+    rumors_.merge(m->rumors);
+    if (m->flag_up) ++up_msg_cnt_;
+  }
+
+  // First local step: first-level transmission of own rumor to Pi1.
+  if (steps_taken_ == 0) {
+    auto first = std::make_shared<TearsPayload>();
+    first->rumors = rumors_;
+    first->flag_up = true;
+    for (ProcessId q : pi1_) {
+      ctx.send(q, first);
+      ++sent_last_step_;
+    }
+  }
+
+  // Second-level transmission to Pi2 when a trigger count was crossed.
+  if (broadcast_trigger_crossed(cnt_before, up_msg_cnt_)) {
+    auto second = std::make_shared<TearsPayload>();
+    second->rumors = rumors_;
+    second->flag_up = false;
+    for (ProcessId q : pi2_) {
+      ctx.send(q, second);
+      ++sent_last_step_;
+    }
+    ++bcasts_sent_;
+  }
+
+  ++steps_taken_;
+}
+
+std::unique_ptr<Process> TearsProcess::clone() const {
+  return std::make_unique<TearsProcess>(*this);
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,93 @@
+// TEARS — Two-hop Epidemic Asynchronous Rumor Spreading (paper Section 5,
+// Figure 3). Solves *majority gossip* for f < n/2: every correct process
+// eventually holds a majority of all rumors, in O(d + delta) time with
+// O(n^{7/4} log^2 n) messages — the message bound is independent of d, delta.
+//
+// Protocol: each process p pre-selects random sets Pi1(p), Pi2(p) (each
+// other process included independently with probability a/n). In its first
+// local step p sends <{r_p}, flag-up> to all of Pi1(p) ("first-level"
+// messages). Thereafter p counts received flag-up messages; whenever the
+// count enters the band [mu - kappa, mu + kappa) or hits mu + i*kappa for a
+// positive integer i, p sends its gathered rumor set to all of Pi2(p)
+// ("second-level" messages, flag down).
+//
+// Paper parameters: a = 4 sqrt(n) log n, mu = a/2, kappa = 8 n^{1/4} log n
+// (log base 2). The multipliers are configurable: the paper's constants are
+// tuned for the w.h.p. proofs at very large n, and at the n a simulation can
+// reach, a would exceed n (all sets degenerate to "everyone"); benches use
+// scaled-down multipliers and EXPERIMENTS.md documents the scaling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "gossip/rumor.h"
+
+namespace asyncgossip {
+
+struct TearsConfig {
+  std::size_t n = 0;
+  /// Multiplier for a = a_constant * sqrt(n) * log2(n). Paper: 4.
+  double a_constant = 4.0;
+  /// Multiplier for kappa = kappa_constant * n^{1/4} * log2(n). Paper: 8.
+  double kappa_constant = 8.0;
+  std::uint64_t seed = 1;
+
+  /// Derived parameters (filled by finalize()).
+  std::size_t a = 0;
+  std::size_t mu = 0;
+  std::size_t kappa = 0;
+
+  /// Computes a, mu, kappa from n and the multipliers (clamping a to n-1
+  /// and everything to >= 1).
+  void finalize();
+};
+
+struct TearsPayload final : Payload {
+  DynamicBitset rumors;
+  bool flag_up = false;
+
+  /// Theta(n) bits: the rumor set plus the flag.
+  std::size_t byte_size() const override { return rumors.byte_size() + 1; }
+};
+
+class TearsProcess final : public GossipProcess {
+ public:
+  TearsProcess(ProcessId id, TearsConfig config);
+
+  void step(StepContext& ctx) override;
+  std::unique_ptr<Process> clone() const override;
+
+  void reseed(std::uint64_t seed) override { rng_ = Xoshiro256SS(seed); }
+  const DynamicBitset& rumors() const override { return rumors_; }
+  bool quiescent() const override { return steps_taken_ > 0; }
+  std::uint64_t local_steps() const override { return steps_taken_; }
+
+  // Introspection for tests and the Lemma 8-11 bench.
+  const TearsConfig& config() const { return config_; }
+  const std::vector<ProcessId>& pi1() const { return pi1_; }
+  const std::vector<ProcessId>& pi2() const { return pi2_; }
+  std::uint64_t up_messages_received() const { return up_msg_cnt_; }
+  std::uint64_t second_level_batches_sent() const { return bcasts_sent_; }
+  std::uint64_t messages_sent_last_step() const { return sent_last_step_; }
+
+ private:
+  bool broadcast_trigger_crossed(std::uint64_t before,
+                                 std::uint64_t after) const;
+
+  ProcessId id_;
+  TearsConfig config_;
+  Xoshiro256SS rng_;
+  DynamicBitset rumors_;
+  std::vector<ProcessId> pi1_;
+  std::vector<ProcessId> pi2_;
+  std::uint64_t up_msg_cnt_ = 0;
+  std::uint64_t steps_taken_ = 0;
+  std::uint64_t bcasts_sent_ = 0;
+  std::uint64_t sent_last_step_ = 0;
+};
+
+}  // namespace asyncgossip

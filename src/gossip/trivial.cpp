@@ -1,0 +1,31 @@
+#include "gossip/trivial.h"
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+TrivialGossipProcess::TrivialGossipProcess(ProcessId id, std::size_t n)
+    : id_(id), n_(n), rumors_(n) {
+  AG_ASSERT_MSG(n > 0 && id < n, "bad process id / n");
+  rumors_.set(id_);
+}
+
+void TrivialGossipProcess::step(StepContext& ctx) {
+  for (const Envelope& env : ctx.received()) {
+    const auto* m = payload_cast<TrivialPayload>(env);
+    if (m != nullptr) rumors_.merge(m->rumors);
+  }
+  if (steps_taken_ == 0) {
+    auto payload = std::make_shared<TrivialPayload>();
+    payload->rumors = rumors_;
+    for (std::size_t q = 0; q < n_; ++q)
+      ctx.send(static_cast<ProcessId>(q), payload);
+  }
+  ++steps_taken_;
+}
+
+std::unique_ptr<Process> TrivialGossipProcess::clone() const {
+  return std::make_unique<TrivialGossipProcess>(*this);
+}
+
+}  // namespace asyncgossip

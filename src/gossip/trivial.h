@@ -1,0 +1,38 @@
+// Trivial gossip (Table 1 row "Trivial"): every process sends its rumor
+// directly to everyone in its first local step. Theta(n^2) messages,
+// O(d + delta) time, and correct even against an adaptive adversary — the
+// baseline every non-trivial protocol must beat on messages.
+#pragma once
+
+#include <memory>
+
+#include "common/bitset.h"
+#include "gossip/rumor.h"
+
+namespace asyncgossip {
+
+struct TrivialPayload final : Payload {
+  DynamicBitset rumors;
+  std::size_t byte_size() const override { return rumors.byte_size(); }
+};
+
+class TrivialGossipProcess final : public GossipProcess {
+ public:
+  TrivialGossipProcess(ProcessId id, std::size_t n);
+
+  void step(StepContext& ctx) override;
+  std::unique_ptr<Process> clone() const override;
+
+  void reseed(std::uint64_t) override {}  // deterministic algorithm
+  const DynamicBitset& rumors() const override { return rumors_; }
+  bool quiescent() const override { return steps_taken_ > 0; }
+  std::uint64_t local_steps() const override { return steps_taken_; }
+
+ private:
+  ProcessId id_;
+  std::size_t n_;
+  DynamicBitset rumors_;
+  std::uint64_t steps_taken_ = 0;
+};
+
+}  // namespace asyncgossip

@@ -1,0 +1,136 @@
+// The Theorem 1 adaptive adversary, as an executable construction.
+//
+// Strategy (paper Section 2, Figure 1), for f_eff = min(f, n/4):
+//
+//   Phase 1   Split [n] into S1 (first n - f_eff/2 processes) and S2 (the
+//             rest). Run only S1, lock-step, all delays 1, until every S1
+//             process is quiescent with an empty mailbox. Call that time t.
+//             If t > f_eff: crash all of S2 and finish the S1-only
+//             execution — it has d = delta = 1 and completion time > f_eff,
+//             i.e. T = Omega(f (d + delta))  [outcome kSlowPhase1].
+//
+//   Probe     For each p in S2, Monte-Carlo the distribution of p's sends
+//             over f_eff/2 isolated local steps after receiving its pending
+//             S1 messages (see lowerbound/probe.h). p is *promiscuous* if
+//             its expected send count is >= f_eff/32.
+//
+//   Case 1    If >= f_eff/4 of S2 are promiscuous: schedule all of S2 for
+//             f_eff/2 further steps, delaying all their outbound messages
+//             past the window. The promiscuous processes pour out
+//             Omega(f^2) messages for nothing  [outcome kCase1Messages].
+//
+//   Case 2    Otherwise: from the probe, find non-promiscuous p, q that
+//             each message the other with probability < 1/4 (the proof's
+//             counting argument guarantees such a pair). Crash the rest of
+//             S2; run p and q for f_eff/2 local steps, one step every
+//             delta_w = max(t, 1) global steps, delivering with delay 1 and
+//             crashing every S1 process that p or q contacts before it can
+//             reply. With constant probability p and q never communicate,
+//             so gossip cannot complete before t + (f_eff/2) * delta_w =
+//             Omega(f (d + delta))  [outcome kCase2Time].
+//
+// After the decisive window the driver releases the system to a benign
+// schedule and runs to quiescence, so every report carries the *measured*
+// end-to-end message count and completion time of a legal execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "gossip/harness.h"
+#include "sim/adversary.h"
+
+namespace asyncgossip {
+
+/// An adaptive adversary whose behaviour is a pair of std::functions the
+/// lower-bound driver swaps between phases. Also reusable for custom
+/// adaptive schedules in tests.
+class ScriptedAdversary final : public Adversary {
+ public:
+  using DecideFn = std::function<StepDecision(Time, const EngineView&)>;
+  using DelayFn = std::function<Time(const Envelope&, const EngineView&)>;
+
+  ScriptedAdversary();
+
+  StepDecision decide(Time now, const EngineView& view) override {
+    return decide_(now, view);
+  }
+  Time message_delay(const Envelope& env, const EngineView& view) override {
+    return delay_(env, view);
+  }
+
+  void set_decide(DecideFn fn) { decide_ = std::move(fn); }
+  void set_delay(DelayFn fn) { delay_ = std::move(fn); }
+
+  /// Benign behaviour: schedule every live process, delay 1, no crashes.
+  void set_benign();
+
+ private:
+  DecideFn decide_;
+  DelayFn delay_;
+};
+
+enum class LowerBoundCase {
+  kSlowPhase1,     // t > f_eff: the algorithm is slow even at d = delta = 1
+  kCase1Messages,  // promiscuous majority: Omega(f^2) wasted messages
+  kCase2Time,      // isolated pair: completion after Omega(f (d + delta))
+};
+
+const char* to_string(LowerBoundCase c);
+
+struct LowerBoundConfig {
+  /// Algorithm under attack (n, algorithm and its knobs are used; the
+  /// spec's own adversary fields are ignored — the adaptive adversary
+  /// replaces them).
+  GossipSpec spec;
+  /// Requested tolerance f; the construction uses f_eff = min(f, n/4) as
+  /// in the proof. Needs f_eff >= 8.
+  std::size_t f = 0;
+  std::size_t probe_trials = 24;
+  /// Step budget for the post-window benign run (0 = automatic).
+  Time finish_budget = 0;
+};
+
+struct LowerBoundReport {
+  LowerBoundCase outcome = LowerBoundCase::kSlowPhase1;
+  std::size_t n = 0;
+  std::size_t f_eff = 0;
+  std::size_t s2_size = 0;
+
+  Time phase1_end = 0;  // t
+  std::size_t promiscuous_count = 0;
+
+  // Case 1.
+  std::uint64_t case1_window_messages = 0;  // sent by S2 inside the window
+
+  // Case 2.
+  ProcessId pair_p = kNoProcess;
+  ProcessId pair_q = kNoProcess;
+  Time case2_delta_w = 0;
+  Time case2_window_end = 0;
+  bool pair_communicated = false;   // probabilistic failure event (<= 7/16)
+  bool crash_budget_exceeded = false;
+  std::size_t s1_crashes = 0;
+
+  // Whole-execution measurements (after the benign release).
+  bool completed = false;
+  /// Whether the gathering property held once the system went quiet. A
+  /// protocol that goes silent without it (e.g. the lazy foil with its
+  /// cascade beheaded) has *unbounded* completion time — stronger than the
+  /// reported lower bound.
+  bool gathering_ok = false;
+  Time completion_time = 0;
+  std::uint64_t total_messages = 0;
+  Time realized_d = 0;
+  Time realized_delta = 0;
+  std::size_t crashes_used = 0;
+
+  /// True when the probabilistic construction worked on this seed (always
+  /// true for kSlowPhase1 / kCase1Messages).
+  bool construction_ok = true;
+};
+
+LowerBoundReport run_lower_bound(const LowerBoundConfig& config);
+
+}  // namespace asyncgossip

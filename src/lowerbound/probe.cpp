@@ -1,0 +1,80 @@
+#include "lowerbound/probe.h"
+
+#include <memory>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace asyncgossip {
+namespace {
+
+// Runs one isolated execution of `p` and tallies its sends. Self-addressed
+// messages are looped back at the next local step (delay 1); everything
+// else leaves the sandbox and is never answered.
+IsolatedRun drive(Process& p, ProcessId self, std::size_t n,
+                  const std::vector<Envelope>& initial,
+                  std::uint64_t local_step_base, std::size_t local_steps) {
+  IsolatedRun run;
+  run.sent_to.assign(n, 0);
+  std::vector<Envelope> inbox = initial;
+  MessageId next_id = 1'000'000'000ULL;  // sandbox-local ids
+  for (std::size_t s = 0; s < local_steps; ++s) {
+    StepContext ctx(self, n, local_step_base + s, inbox);
+    p.step(ctx);
+    std::vector<Envelope> next_inbox;
+    for (const auto& o : ctx.outbox()) {
+      ++run.total_sent;
+      ++run.sent_to[o.to];
+      if (o.to == self) {
+        Envelope env;
+        env.id = next_id++;
+        env.from = self;
+        env.to = self;
+        env.send_time = 0;
+        env.deliver_after = 0;
+        env.payload = o.payload;
+        next_inbox.push_back(std::move(env));
+      }
+    }
+    inbox = std::move(next_inbox);
+  }
+  return run;
+}
+
+}  // namespace
+
+IsolatedRun run_isolated(const Process& proto, ProcessId self, std::size_t n,
+                         const std::vector<Envelope>& initial,
+                         std::uint64_t local_step_base,
+                         std::size_t local_steps) {
+  const std::unique_ptr<Process> p = proto.clone();
+  return drive(*p, self, n, initial, local_step_base, local_steps);
+}
+
+IsolationProbeResult probe_isolated_sends(const Process& proto,
+                                          ProcessId self, std::size_t n,
+                                          const std::vector<Envelope>& initial,
+                                          std::uint64_t local_step_base,
+                                          std::size_t local_steps,
+                                          std::size_t trials,
+                                          std::uint64_t seed) {
+  AG_ASSERT_MSG(trials >= 1, "probe needs at least one trial");
+  Xoshiro256SS seeder(seed ^ 0x9120BE5EEDULL);
+  IsolationProbeResult result;
+  result.send_probability.assign(n, 0.0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::unique_ptr<Process> p = proto.clone();
+    p->reseed(seeder.next());
+    const IsolatedRun run =
+        drive(*p, self, n, initial, local_step_base, local_steps);
+    result.expected_messages += static_cast<double>(run.total_sent);
+    for (std::size_t q = 0; q < n; ++q)
+      if (run.sent_to[q] > 0) result.send_probability[q] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(trials);
+  result.expected_messages *= inv;
+  for (double& pr : result.send_probability) pr *= inv;
+  return result;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,58 @@
+// The promiscuity probe of Theorem 1.
+//
+// The proof: "For each process p in S2, simulate the result of process p
+// receiving any messages from S1, and executing f/2 local steps in
+// isolation... Since the behavior of p is probabilistic, this induces a
+// distribution over the set of messages sent by p."
+//
+// We realize the simulation by world-forking: clone the process (state +
+// RNG), reseed each clone with independent randomness, deliver its pending
+// mailbox at the first isolated step, and run it for k local steps with no
+// further external input (self-sends are looped back with delay 1, matching
+// the real Case 2 window). Monte-Carlo over `trials` clones estimates both
+// the expected total send count (the promiscuity test, threshold f/32) and
+// the per-target probability of sending at least one message (the N(p)
+// sets, threshold 1/4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace asyncgossip {
+
+struct IsolationProbeResult {
+  /// Monte-Carlo estimate of E[#messages sent in k isolated local steps].
+  double expected_messages = 0.0;
+  /// send_probability[q] estimates Pr[p sends >= 1 message to q during the
+  /// k isolated steps].
+  std::vector<double> send_probability;
+};
+
+/// Runs `trials` independent isolated executions of a clone of `proto`.
+/// `initial` is delivered at the clone's first step (the pending messages
+/// from S1); `local_steps` is the paper's f/2; `local_step_base` is the
+/// clone's current local-step count in the real execution.
+IsolationProbeResult probe_isolated_sends(const Process& proto,
+                                          ProcessId self, std::size_t n,
+                                          const std::vector<Envelope>& initial,
+                                          std::uint64_t local_step_base,
+                                          std::size_t local_steps,
+                                          std::size_t trials,
+                                          std::uint64_t seed);
+
+/// Single deterministic isolated run (no reseed): used by tests to verify
+/// that clone + replay reproduces the original behaviour exactly.
+struct IsolatedRun {
+  std::uint64_t total_sent = 0;
+  std::vector<std::uint64_t> sent_to;  // per destination counts
+};
+
+IsolatedRun run_isolated(const Process& proto, ProcessId self, std::size_t n,
+                         const std::vector<Envelope>& initial,
+                         std::uint64_t local_step_base,
+                         std::size_t local_steps);
+
+}  // namespace asyncgossip

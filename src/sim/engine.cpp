@@ -1,0 +1,211 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace asyncgossip {
+
+// ---------------------------------------------------------------------------
+// EngineView
+// ---------------------------------------------------------------------------
+
+std::size_t EngineView::n() const { return engine_->n(); }
+Time EngineView::now() const { return engine_->now(); }
+bool EngineView::crashed(ProcessId p) const { return engine_->crashed(p); }
+std::size_t EngineView::alive_count() const { return engine_->alive_count(); }
+std::size_t EngineView::crash_budget_left() const {
+  return engine_->config().max_crashes - engine_->crashes_so_far();
+}
+const Process& EngineView::process(ProcessId p) const {
+  return engine_->process(p);
+}
+const Metrics& EngineView::metrics() const { return engine_->metrics(); }
+std::size_t EngineView::in_flight_count() const {
+  return engine_->in_flight_count();
+}
+std::vector<Envelope> EngineView::pending_for(ProcessId p) const {
+  return engine_->pending_for(p);
+}
+std::size_t EngineView::pending_count(ProcessId p) const {
+  return engine_->pending_count(p);
+}
+std::uint64_t EngineView::local_steps_of(ProcessId p) const {
+  return engine_->local_steps_of(p);
+}
+std::unique_ptr<Process> EngineView::fork_process(ProcessId p) const {
+  return engine_->fork_process(p);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
+               std::unique_ptr<Adversary> adversary, EngineConfig config)
+    : config_(config),
+      processes_(std::move(processes)),
+      adversary_(std::move(adversary)),
+      metrics_(processes_.size()),
+      crashed_(processes_.size(), false),
+      alive_count_(processes_.size()),
+      mailbox_(processes_.size()),
+      in_flight_total_(0),
+      last_step_time_(processes_.size(), 0),
+      stepped_once_(processes_.size(), false),
+      local_steps_(processes_.size(), 0) {
+  if (processes_.empty()) throw ApiError("Engine needs at least one process");
+  for (const auto& p : processes_)
+    if (p == nullptr) throw ApiError("null process");
+  if (adversary_ == nullptr) throw ApiError("null adversary");
+  if (config_.d < 1 || config_.delta < 1)
+    throw ApiError("model bounds d and delta must be >= 1");
+  if (config_.max_crashes >= processes_.size())
+    throw ApiError("crash budget f must satisfy f < n");
+}
+
+void Engine::run(Time steps) {
+  for (Time i = 0; i < steps; ++i) advance_one_step();
+}
+
+bool Engine::run_until(const std::function<bool(const Engine&)>& done,
+                       Time max_steps) {
+  for (Time i = 0; i < max_steps; ++i) {
+    if (done(*this)) return true;
+    advance_one_step();
+  }
+  return done(*this);
+}
+
+std::vector<Envelope> Engine::pending_for(ProcessId p) const {
+  return {mailbox_[p].begin(), mailbox_[p].end()};
+}
+
+void Engine::hash_mix(std::uint64_t v) {
+  trace_hash_ ^= v;
+  trace_hash_ *= 0x100000001b3ULL;
+}
+
+void Engine::apply_crashes(const std::vector<ProcessId>& crash_list) {
+  for (ProcessId p : crash_list) {
+    AG_ASSERT_MSG(p < processes_.size(), "crash target out of range");
+    if (crashed_[p]) continue;
+    if (crashes_ + 1 > config_.max_crashes)
+      throw ModelViolation("adversary exceeded crash budget f");
+    crashed_[p] = true;
+    ++crashes_;
+    --alive_count_;
+    metrics_.record_crash();
+    if (observer_ != nullptr) observer_->on_crash(now_, p);
+    // A crashed process never steps again; its pending messages are moot.
+    in_flight_total_ -= mailbox_[p].size();
+    mailbox_[p].clear();
+    hash_mix(0xC0DEull ^ p);
+  }
+}
+
+std::vector<ProcessId> Engine::effective_schedule(
+    std::vector<ProcessId> proposed) {
+  std::vector<bool> want(processes_.size(), false);
+  for (ProcessId p : proposed) {
+    AG_ASSERT_MSG(p < processes_.size(), "scheduled process out of range");
+    if (!crashed_[p]) want[p] = true;
+  }
+  // Enforce the delta contract: a live process whose deadline has arrived
+  // must step now.
+  for (ProcessId p = 0; p < processes_.size(); ++p) {
+    if (crashed_[p] || want[p]) continue;
+    const Time deadline = stepped_once_[p] ? last_step_time_[p] + config_.delta
+                                           : config_.delta - 1;
+    if (now_ >= deadline) {
+      if (config_.strict)
+        throw ModelViolation(
+            "adversary left a live process unscheduled past its delta "
+            "deadline");
+      want[p] = true;
+    }
+  }
+  std::vector<ProcessId> result;
+  for (ProcessId p = 0; p < processes_.size(); ++p)
+    if (want[p]) result.push_back(p);
+  return result;
+}
+
+std::vector<Envelope> Engine::collect_deliveries(ProcessId p) {
+  std::vector<Envelope> delivered;
+  auto& box = mailbox_[p];
+  const Time prev_step = stepped_once_[p] ? last_step_time_[p] : kTimeMax;
+  std::deque<Envelope> kept;
+  for (auto& env : box) {
+    if (env.deliver_after <= now_) {
+      metrics_.record_delivery(env.send_time, prev_step, now_);
+      if (observer_ != nullptr) observer_->on_delivery(env, now_);
+      hash_mix(0xDE11ull ^ env.id);
+      delivered.push_back(std::move(env));
+    } else {
+      kept.push_back(std::move(env));
+    }
+  }
+  in_flight_total_ -= delivered.size();
+  box = std::move(kept);
+  return delivered;
+}
+
+void Engine::dispatch_sends(ProcessId from,
+                            std::vector<StepContext::Outgoing>&& out) {
+  const EngineView view(*this);
+  for (auto& o : out) {
+    AG_ASSERT_MSG(o.to < processes_.size(), "send target out of range");
+    Envelope env;
+    env.id = next_message_id_++;
+    env.from = from;
+    env.to = o.to;
+    env.send_time = now_;
+    env.payload = std::move(o.payload);
+    Time delay = adversary_->message_delay(env, view);
+    delay = std::clamp<Time>(delay, 1, config_.d);
+    env.deliver_after = now_ + delay;
+    metrics_.record_send(from, now_,
+                          env.payload ? env.payload->byte_size() : 0);
+    if (observer_ != nullptr) observer_->on_send(env);
+    hash_mix(0x5E4Dull ^ env.id ^ (static_cast<std::uint64_t>(env.to) << 32));
+    pending_sends_.push_back(std::move(env));
+  }
+}
+
+void Engine::advance_one_step() {
+  const EngineView view(*this);
+  StepDecision decision = adversary_->decide(now_, view);
+
+  apply_crashes(decision.crash);
+  const std::vector<ProcessId> schedule =
+      effective_schedule(std::move(decision.schedule));
+
+  for (ProcessId p : schedule) {
+    const Time gap =
+        stepped_once_[p] ? now_ - last_step_time_[p] : now_ + 1;
+    metrics_.record_gap(gap);
+    if (observer_ != nullptr) observer_->on_step(now_, p);
+    const std::vector<Envelope> delivered = collect_deliveries(p);
+    StepContext ctx(p, processes_.size(), local_steps_[p], delivered);
+    processes_[p]->step(ctx);
+    dispatch_sends(p, std::move(ctx.outbox()));
+    last_step_time_[p] = now_;
+    stepped_once_[p] = true;
+    ++local_steps_[p];
+    metrics_.record_local_step();
+    hash_mix(0x57E4ull ^ p ^ (now_ << 16));
+  }
+
+  // Simultaneous-step semantics: messages produced during step t enter the
+  // network only after every scheduled process has stepped, so no message
+  // can be relayed within the step it was sent.
+  for (auto& env : pending_sends_) {
+    if (crashed_[env.to]) continue;  // delivery to a crashed process is moot
+    mailbox_[env.to].push_back(std::move(env));
+    ++in_flight_total_;
+  }
+  pending_sends_.clear();
+
+  ++now_;
+}
+
+}  // namespace asyncgossip

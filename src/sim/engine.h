@@ -1,0 +1,122 @@
+// The discrete-time simulation engine for the paper's system model.
+//
+// Model recap (Section "System Model" of the paper): time proceeds in
+// discrete steps; at every step the adversary picks an arbitrary subset of
+// processes to take a local step and may crash processes (at most f in
+// total). In each local step a process receives a subset of its pending
+// messages, computes, and sends messages. For a given execution, d is the
+// maximum delivery time and delta the maximum scheduling gap. The engine
+// *enforces* both bounds: a pending message older than d is force-delivered
+// at the receiver's next step, and a live process is force-scheduled when
+// its delta deadline arrives. In strict mode the engine instead throws
+// ModelViolation if the adversary's raw decision would breach a bound,
+// which the test suite uses to validate adversary implementations.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "sim/adversary.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/observer.h"
+#include "sim/process.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+struct EngineConfig {
+  /// Delivery bound d >= 1 enforced for this execution.
+  Time d = 1;
+  /// Scheduling bound delta >= 1 enforced for this execution.
+  Time delta = 1;
+  /// Crash budget f (0 <= f < n enforced at construction).
+  std::size_t max_crashes = 0;
+  /// If true, adversary decisions that would violate d/delta/f raise
+  /// ModelViolation instead of being corrected.
+  bool strict = false;
+};
+
+class Engine {
+ public:
+  Engine(std::vector<std::unique_ptr<Process>> processes,
+         std::unique_ptr<Adversary> adversary, EngineConfig config);
+
+  /// Advances exactly `steps` global time steps.
+  void run(Time steps);
+
+  /// Runs until `done(*this)` returns true (checked after every step) or
+  /// `max_steps` elapse. Returns true iff the predicate fired.
+  bool run_until(const std::function<bool(const Engine&)>& done,
+                 Time max_steps);
+
+  // --- observers ----------------------------------------------------------
+  std::size_t n() const { return processes_.size(); }
+  Time now() const { return now_; }
+  const EngineConfig& config() const { return config_; }
+  const Metrics& metrics() const { return metrics_; }
+  bool crashed(ProcessId p) const { return crashed_[p]; }
+  std::size_t alive_count() const { return alive_count_; }
+  std::size_t crashes_so_far() const { return crashes_; }
+  const Process& process(ProcessId p) const { return *processes_[p]; }
+
+  /// Typed accessor for algorithm-specific inspection in tests/benches.
+  template <typename T>
+  const T& process_as(ProcessId p) const {
+    const T* t = dynamic_cast<const T*>(processes_[p].get());
+    AG_ASSERT_MSG(t != nullptr, "process type mismatch");
+    return *t;
+  }
+
+  std::size_t in_flight_count() const { return in_flight_total_; }
+  bool network_empty() const { return in_flight_total_ == 0; }
+  std::vector<Envelope> pending_for(ProcessId p) const;
+  std::size_t pending_count(ProcessId p) const { return mailbox_[p].size(); }
+  std::uint64_t local_steps_of(ProcessId p) const { return local_steps_[p]; }
+  std::unique_ptr<Process> fork_process(ProcessId p) const {
+    return processes_[p]->clone();
+  }
+
+  /// FNV-1a hash over the full delivery/send trace; equal seeds must yield
+  /// equal hashes (determinism test).
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
+  /// Attaches a passive observer (nullptr detaches). Observation is
+  /// strictly read-only and never alters the execution.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+ private:
+  void advance_one_step();
+  void apply_crashes(const std::vector<ProcessId>& crash_list);
+  std::vector<ProcessId> effective_schedule(std::vector<ProcessId> proposed);
+  std::vector<Envelope> collect_deliveries(ProcessId p);
+  void dispatch_sends(ProcessId from, std::vector<StepContext::Outgoing>&& out);
+  void hash_mix(std::uint64_t v);
+
+  EngineConfig config_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<Adversary> adversary_;
+  Metrics metrics_;
+
+  Time now_ = 0;
+  std::vector<bool> crashed_;
+  std::size_t alive_count_;
+  std::size_t crashes_ = 0;
+  std::vector<std::deque<Envelope>> mailbox_;  // per destination, send order
+  std::size_t in_flight_total_ = 0;
+  std::vector<Time> last_step_time_;
+  std::vector<bool> stepped_once_;
+  std::vector<std::uint64_t> local_steps_;
+  MessageId next_message_id_ = 0;
+  std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
+  EngineObserver* observer_ = nullptr;
+
+  // Sends produced during the current step, injected into mailboxes only
+  // after every scheduled process has stepped (simultaneous semantics).
+  std::vector<Envelope> pending_sends_;
+};
+
+}  // namespace asyncgossip

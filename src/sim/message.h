@@ -1,0 +1,50 @@
+// Message envelope and type-erased payloads.
+//
+// Payloads are immutable and shared: a gossip message carrying a snapshot of
+// a process's knowledge is allocated once by the sender and referenced by
+// the envelope, so "sending" is O(1) regardless of payload size. This
+// mirrors the paper's accounting, which counts point-to-point *messages*
+// rather than bits.
+#pragma once
+
+#include <memory>
+
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+/// Base class for algorithm-defined message bodies.
+struct Payload {
+  virtual ~Payload() = default;
+
+  /// Serialized size of this payload in bytes, for the bit-complexity
+  /// accounting the paper lists as future work ("the total number of bits
+  /// exchanged in a given computation", Section 7). Implementations report
+  /// the size of a natural wire encoding of their fields; the engine sums
+  /// it per send into Metrics::bytes_sent().
+  virtual std::size_t byte_size() const { return 0; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// A point-to-point message in flight or being delivered.
+struct Envelope {
+  MessageId id = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Time send_time = 0;
+  /// Earliest step at which the receiver may see the message. The engine
+  /// guarantees delivery at the receiver's first local step at or after
+  /// max(deliver_after, send_time + 1), and no later than send_time + d.
+  Time deliver_after = 0;
+  PayloadPtr payload;
+};
+
+/// Convenience downcast for algorithm code. Returns nullptr on mismatch so
+/// algorithms can ignore foreign payload types (used by layered protocols).
+template <typename T>
+const T* payload_cast(const Envelope& env) {
+  return dynamic_cast<const T*>(env.payload.get());
+}
+
+}  // namespace asyncgossip

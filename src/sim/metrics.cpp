@@ -1,0 +1,33 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace asyncgossip {
+
+void Metrics::record_send(ProcessId from, Time now,
+                          std::size_t payload_bytes) {
+  ++messages_sent_;
+  bytes_sent_ += payload_bytes;
+  ++per_process_sent_[from];
+  last_send_time_ = now;
+  any_send_ = true;
+}
+
+void Metrics::record_delivery(Time send_time, Time prev_step, Time now) {
+  ++messages_delivered_;
+  Time witnessed = 1;
+  if (prev_step != kTimeMax && prev_step > send_time)
+    witnessed = prev_step - send_time + 1;
+  witnessed = std::min(witnessed, now - send_time);
+  realized_d_ = std::max(realized_d_, witnessed);
+}
+
+void Metrics::record_gap(Time gap) {
+  realized_delta_ = std::max(realized_delta_, gap);
+}
+
+void Metrics::record_local_step() { ++local_steps_; }
+
+void Metrics::record_crash() { ++crashes_; }
+
+}  // namespace asyncgossip

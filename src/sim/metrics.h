@@ -1,0 +1,72 @@
+// Complexity accounting: exactly the measures the paper reports.
+//
+// Time complexity is measured in discrete global steps; message complexity
+// is the number of point-to-point messages sent by all processes combined
+// (the paper counts messages, not bits). The engine also records the
+// *realized* per-execution bounds d and delta so benches can report time in
+// units of (d + delta).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t n) : per_process_sent_(n, 0) {}
+
+  // --- recording (engine only) ------------------------------------------
+  void record_send(ProcessId from, Time now, std::size_t payload_bytes);
+  /// `prev_step` is the receiver's previous local-step time (kTimeMax if it
+  /// never stepped before): per the paper's definition, a message witnesses
+  /// a delay bound of prev_step - send_time + 1 — the wait after the
+  /// receiver's last pre-delivery step is attributable to delta, not d.
+  void record_delivery(Time send_time, Time prev_step, Time now);
+  void record_gap(Time gap);
+  void record_local_step();
+  void record_crash();
+
+  // --- reporting ----------------------------------------------------------
+  /// Total point-to-point messages sent.
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  /// Total payload bytes sent — the bit-complexity measure (/8) the paper
+  /// poses as future work (Section 7).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_sent_by(ProcessId p) const {
+    return per_process_sent_[p];
+  }
+  const std::vector<std::uint64_t>& per_process_sent() const {
+    return per_process_sent_;
+  }
+
+  /// Global time of the most recent send; the natural "the system went
+  /// quiet at ..." stamp used as gossip completion time.
+  Time last_send_time() const { return last_send_time_; }
+  bool any_send() const { return any_send_; }
+
+  /// Largest observed delivery delay (receiver step time - send time).
+  Time realized_d() const { return realized_d_; }
+  /// Largest observed gap between consecutive local steps of a live process.
+  Time realized_delta() const { return realized_delta_; }
+
+  std::uint64_t local_steps() const { return local_steps_; }
+  std::uint64_t crashes() const { return crashes_; }
+
+ private:
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t local_steps_ = 0;
+  std::uint64_t crashes_ = 0;
+  Time last_send_time_ = 0;
+  bool any_send_ = false;
+  Time realized_d_ = 0;
+  Time realized_delta_ = 0;
+  std::vector<std::uint64_t> per_process_sent_;
+};
+
+}  // namespace asyncgossip

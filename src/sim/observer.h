@@ -1,0 +1,29 @@
+// Passive observation of an execution.
+//
+// An observer sees every step, send, delivery and crash as it happens. It
+// is strictly read-only — observers cannot influence the execution, so
+// attaching one never changes a run (determinism tests rely on this).
+// The trace recorder (sim/trace.h) is the main implementation; tests use
+// ad-hoc observers to assert fine-grained event orderings.
+#pragma once
+
+#include "sim/message.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// A process is about to execute a local step.
+  virtual void on_step(Time /*now*/, ProcessId /*p*/) {}
+  /// A message entered the network (counted by the metrics as a send).
+  virtual void on_send(const Envelope& /*env*/) {}
+  /// A message was handed to its receiver at the start of a local step.
+  virtual void on_delivery(const Envelope& /*env*/, Time /*now*/) {}
+  /// A process crashed.
+  virtual void on_crash(Time /*now*/, ProcessId /*p*/) {}
+};
+
+}  // namespace asyncgossip

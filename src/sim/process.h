@@ -1,0 +1,84 @@
+// The process abstraction: an asynchronous, crash-prone state machine.
+//
+// A local step follows the paper's model exactly: the process (1) receives
+// some subset of the messages sent to it (chosen by the adversary within the
+// delivery bound d), (2) performs local computation, and (3) sends zero or
+// more messages. Processes never see global time; they can only count their
+// own local steps.
+//
+// Processes must be deep-copyable via clone(): the Theorem 1 adaptive
+// adversary forks a process (state *and* RNG) to sample the distribution of
+// its future sends without disturbing the real execution.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+/// Handed to a process for the duration of one local step.
+class StepContext {
+ public:
+  StepContext(ProcessId self, std::size_t n, std::uint64_t local_step,
+              const std::vector<Envelope>& received)
+      : self_(self), n_(n), local_step_(local_step), received_(received) {}
+
+  StepContext(const StepContext&) = delete;
+  StepContext& operator=(const StepContext&) = delete;
+
+  ProcessId self() const { return self_; }
+  std::size_t n() const { return n_; }
+
+  /// How many local steps this process has taken before this one. This is
+  /// the only "clock" a process may consult.
+  std::uint64_t local_step() const { return local_step_; }
+
+  /// Messages delivered at the start of this step.
+  const std::vector<Envelope>& received() const { return received_; }
+
+  /// Queues a point-to-point message; the engine takes ownership of the
+  /// batch when the step ends. Sending to self is allowed and is counted.
+  void send(ProcessId to, PayloadPtr payload) {
+    outbox_.push_back(Outgoing{to, std::move(payload)});
+  }
+
+  struct Outgoing {
+    ProcessId to;
+    PayloadPtr payload;
+  };
+
+  /// Engine-side accessor; algorithm code has no reason to call this.
+  std::vector<Outgoing>& outbox() { return outbox_; }
+
+ private:
+  ProcessId self_;
+  std::size_t n_;
+  std::uint64_t local_step_;
+  const std::vector<Envelope>& received_;
+  std::vector<Outgoing> outbox_;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Executes one local step (receive / compute / send).
+  virtual void step(StepContext& ctx) = 0;
+
+  /// Deep copy, including RNG state: the clone's future behaviour under the
+  /// same deliveries is identical in distribution *and* realization.
+  virtual std::unique_ptr<Process> clone() const = 0;
+
+  /// Replaces the process's random stream with a fresh one derived from
+  /// `seed`, leaving all other state intact. The adaptive adversary of
+  /// Theorem 1 clones a process and reseeds each clone to Monte-Carlo
+  /// sample the *distribution* of the process's future sends — exactly the
+  /// quantity the proof's promiscuity test is defined over (the adversary
+  /// may know the algorithm and its state, but not its future coin flips).
+  virtual void reseed(std::uint64_t seed) = 0;
+};
+
+}  // namespace asyncgossip

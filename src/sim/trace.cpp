@@ -1,0 +1,108 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace asyncgossip {
+
+void TraceRecorder::push(Event e) {
+  if (events_.size() < max_events_) {
+    events_.push_back(e);
+  } else {
+    ++dropped_;
+  }
+}
+
+void TraceRecorder::on_step(Time now, ProcessId p) {
+  ++steps_;
+  push(Event{EventKind::kStep, now, p, kNoProcess, 0, 0});
+}
+
+void TraceRecorder::on_send(const Envelope& env) {
+  ++sends_;
+  push(Event{EventKind::kSend, env.send_time, env.from, env.to, env.id,
+             env.send_time});
+}
+
+void TraceRecorder::on_delivery(const Envelope& env, Time now) {
+  ++deliveries_;
+  latencies_.push_back(static_cast<double>(now - env.send_time));
+  push(Event{EventKind::kDelivery, now, env.to, env.from, env.id,
+             env.send_time});
+}
+
+void TraceRecorder::on_crash(Time now, ProcessId p) {
+  ++crashes_;
+  push(Event{EventKind::kCrash, now, p, kNoProcess, 0, 0});
+}
+
+Summary TraceRecorder::latency_summary() const { return summarize(latencies_); }
+
+std::string TraceRecorder::render_timeline(std::size_t n,
+                                           std::size_t max_processes,
+                                           std::size_t max_time) const {
+  const std::size_t rows = std::min(n, max_processes);
+  // Cell codes: bit0 step, bit1 send, bit2 delivery, bit3 crash.
+  std::vector<std::vector<std::uint8_t>> grid(
+      rows, std::vector<std::uint8_t>(max_time, 0));
+  std::vector<Time> crash_time(rows, kTimeMax);
+  for (const Event& e : events_) {
+    if (e.process >= rows) continue;
+    if (e.kind == EventKind::kCrash && e.process < rows)
+      crash_time[e.process] = std::min(crash_time[e.process], e.time);
+    if (e.time >= max_time) continue;
+    auto& cell = grid[e.process][e.time];
+    switch (e.kind) {
+      case EventKind::kStep:
+        cell |= 1;
+        break;
+      case EventKind::kSend:
+        cell |= 2;
+        break;
+      case EventKind::kDelivery:
+        cell |= 4;
+        break;
+      case EventKind::kCrash:
+        cell |= 8;
+        break;
+    }
+  }
+  std::string out;
+  out.reserve(rows * (max_time + 12));
+  for (std::size_t p = 0; p < rows; ++p) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%4zu ", p);
+    out += buf;
+    for (std::size_t t = 0; t < max_time; ++t) {
+      const std::uint8_t c = grid[p][t];
+      char ch;
+      if (c & 8) {
+        ch = 'X';
+      } else if (crash_time[p] != kTimeMax && t > crash_time[p]) {
+        ch = ' ';
+      } else if ((c & 2) && (c & 4)) {
+        ch = 'b';
+      } else if (c & 2) {
+        ch = 's';
+      } else if (c & 4) {
+        ch = 'd';
+      } else if (c & 1) {
+        ch = 'o';
+      } else {
+        ch = '.';
+      }
+      out += ch;
+    }
+    out += '\n';
+  }
+  if (n > rows) out += "  ... (" + std::to_string(n - rows) + " more)\n";
+  return out;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  steps_ = sends_ = deliveries_ = crashes_ = dropped_ = 0;
+  latencies_.clear();
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,74 @@
+// Execution tracing: a bounded event log with an ASCII timeline renderer
+// and delivery-latency statistics.
+//
+// Intended uses: debugging algorithm behaviour ("who woke whom up and
+// when"), the examples' narrated output, and tests that assert causal
+// structure (a delivery never precedes its send; crashed processes emit no
+// further events).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/observer.h"
+
+namespace asyncgossip {
+
+class TraceRecorder final : public EngineObserver {
+ public:
+  enum class EventKind : std::uint8_t { kStep, kSend, kDelivery, kCrash };
+
+  struct Event {
+    EventKind kind;
+    Time time = 0;
+    ProcessId process = kNoProcess;  // actor (sender / receiver / stepper)
+    ProcessId peer = kNoProcess;     // other endpoint for send/delivery
+    MessageId message = 0;
+    Time send_time = 0;  // deliveries: when the message was sent
+  };
+
+  /// Records at most `max_events` events (counters keep running after the
+  /// log fills; `dropped()` reports the overflow).
+  explicit TraceRecorder(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  void on_step(Time now, ProcessId p) override;
+  void on_send(const Envelope& env) override;
+  void on_delivery(const Envelope& env, Time now) override;
+  void on_crash(Time now, ProcessId p) override;
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t sends() const { return sends_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Delivery latency (receipt time - send time) summary.
+  Summary latency_summary() const;
+
+  /// ASCII timeline: one row per process (up to `max_processes`), one
+  /// column per time step (up to `max_time` columns, starting at step 0).
+  /// Cell legend: '.' idle, 'o' step, 's' step+send, 'd' step+delivery,
+  /// 'b' step+send+delivery, 'X' crash, ' ' after crash.
+  std::string render_timeline(std::size_t n, std::size_t max_processes = 32,
+                              std::size_t max_time = 96) const;
+
+  void clear();
+
+ private:
+  void push(Event e);
+
+  std::size_t max_events_;
+  std::vector<Event> events_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<double> latencies_;
+};
+
+}  // namespace asyncgossip

@@ -1,0 +1,25 @@
+// Fundamental identifiers for the simulated distributed system.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace asyncgossip {
+
+/// Process identifier; processes are numbered 0 .. n-1 (the paper's set [n],
+/// shifted to zero-based indexing).
+using ProcessId = std::uint32_t;
+
+/// Discrete global time, counted in steps from 0. Visible only to the
+/// engine, the adversary and the analysis — never to algorithm code, which
+/// matches the paper's model (processes have no global clocks).
+using Time = std::uint64_t;
+
+/// Monotone per-execution identifier for point-to-point messages.
+using MessageId = std::uint64_t;
+
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+}  // namespace asyncgossip

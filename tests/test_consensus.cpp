@@ -1,0 +1,206 @@
+#include "consensus/canetti_rabin.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace asyncgossip {
+namespace {
+
+struct ConsCase {
+  ExchangeKind kind;
+  InputPattern inputs;
+  std::size_t n;
+  std::size_t f;
+  Time d;
+  Time delta;
+  SchedulePattern schedule;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ConsCase>& info) {
+  const ConsCase& c = info.param;
+  std::string name = to_string(c.kind);
+  for (char& ch : name)
+    if (ch == '-') ch = '_';
+  name += "_in" + std::to_string(static_cast<int>(c.inputs)) + "_n" +
+          std::to_string(c.n) + "_f" + std::to_string(c.f) + "_d" +
+          std::to_string(c.d) + "_del" + std::to_string(c.delta) + "_s" +
+          std::to_string(c.seed);
+  return name;
+}
+
+class ConsensusSweep : public ::testing::TestWithParam<ConsCase> {};
+
+TEST_P(ConsensusSweep, AgreementValidityTermination) {
+  const ConsCase& c = GetParam();
+  ConsensusSpec spec;
+  spec.config.n = c.n;
+  spec.config.f = c.f;
+  spec.config.exchange = c.kind;
+  spec.d = c.d;
+  spec.delta = c.delta;
+  spec.schedule = c.schedule;
+  spec.delay = c.d == 1 ? DelayPattern::kUnitDelay : DelayPattern::kUniform;
+  spec.inputs = c.inputs;
+  spec.seed = c.seed;
+
+  const ConsensusOutcome out = run_consensus_spec(spec);
+  ASSERT_TRUE(out.all_decided) << "termination failed";
+  EXPECT_TRUE(out.agreement);
+  EXPECT_TRUE(out.validity);
+  EXPECT_EQ(out.core_violations, 0u);
+  if (c.inputs == InputPattern::kAllZero) EXPECT_EQ(out.decided_value, 0);
+  if (c.inputs == InputPattern::kAllOne) EXPECT_EQ(out.decided_value, 1);
+  // Unanimous inputs must decide in the very first phase.
+  if (c.inputs == InputPattern::kAllZero || c.inputs == InputPattern::kAllOne)
+    EXPECT_EQ(out.decision_phase, 1u);
+}
+
+std::vector<ConsCase> make_cases() {
+  std::vector<ConsCase> cases;
+  const ExchangeKind kinds[] = {ExchangeKind::kAllToAll, ExchangeKind::kEars,
+                                ExchangeKind::kSears, ExchangeKind::kTears};
+  const InputPattern inputs[] = {InputPattern::kAllZero, InputPattern::kAllOne,
+                                 InputPattern::kHalfHalf,
+                                 InputPattern::kRandom};
+  for (ExchangeKind k : kinds) {
+    for (InputPattern in : inputs) {
+      cases.push_back(ConsCase{k, in, 32, 7, 1, 1,
+                               SchedulePattern::kLockStep, 4242});
+      cases.push_back(ConsCase{k, in, 48, 23, 3, 2,
+                               SchedulePattern::kStaggered, 1717});
+    }
+    // One larger instance per kind.
+    cases.push_back(ConsCase{k, InputPattern::kRandom, 96, 40, 2, 3,
+                             SchedulePattern::kRotating, 99});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConsensusSweep,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+// Expected-constant phases: over seeds, the decision phase should stay
+// small (the common coin succeeds with constant probability per phase).
+TEST(Consensus, PhasesStaySmallAcrossSeeds) {
+  std::uint32_t worst = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ConsensusSpec spec;
+    spec.config.n = 32;
+    spec.config.f = 7;
+    spec.config.exchange = ExchangeKind::kEars;
+    spec.inputs = InputPattern::kHalfHalf;
+    spec.d = 2;
+    spec.delta = 2;
+    spec.schedule = SchedulePattern::kStaggered;
+    spec.seed = seed;
+    const ConsensusOutcome out = run_consensus_spec(spec);
+    ASSERT_TRUE(out.all_decided);
+    worst = std::max(worst, out.decision_phase);
+  }
+  EXPECT_LE(worst, 12u);
+}
+
+TEST(Consensus, QuiescenceReached) {
+  ConsensusSpec spec;
+  spec.config.n = 32;
+  spec.config.f = 7;
+  spec.config.exchange = ExchangeKind::kEars;
+  spec.inputs = InputPattern::kRandom;
+  spec.seed = 5;
+  Engine engine = make_consensus_engine(spec);
+  ASSERT_TRUE(engine.run_until(consensus_quiet, 200000));
+  EXPECT_TRUE(consensus_all_decided(engine));
+  EXPECT_TRUE(engine.network_empty());
+}
+
+TEST(Consensus, RejectsMajorityFailures) {
+  ConsensusConfig cfg;
+  cfg.n = 10;
+  cfg.f = 5;  // not < n/2
+  EXPECT_THROW(ConsensusProcess(0, 0, cfg), ModelViolation);
+}
+
+TEST(Consensus, RejectsNonBinaryInput) {
+  ConsensusConfig cfg;
+  cfg.n = 10;
+  cfg.f = 4;
+  EXPECT_THROW(ConsensusProcess(0, 2, cfg), ModelViolation);
+  EXPECT_THROW(ConsensusProcess(0, kValBot, cfg), ModelViolation);
+}
+
+TEST(Consensus, CloneAndReseed) {
+  ConsensusConfig cfg;
+  cfg.n = 16;
+  cfg.f = 7;
+  cfg.exchange = ExchangeKind::kEars;
+  cfg.seed = 8;
+  ConsensusProcess p(0, 1, cfg);
+  auto clone = p.clone();
+  ASSERT_NE(clone, nullptr);
+  clone->reseed(123);  // must not throw
+  const auto& cp = dynamic_cast<const ConsensusProcess&>(*clone);
+  EXPECT_EQ(cp.input(), 1);
+  EXPECT_FALSE(cp.decided());
+}
+
+TEST(Consensus, DeterministicOutcomePerSpec) {
+  ConsensusSpec spec;
+  spec.config.n = 48;
+  spec.config.f = 11;
+  spec.config.exchange = ExchangeKind::kTears;
+  spec.inputs = InputPattern::kRandom;
+  spec.d = 2;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.seed = 31;
+  const ConsensusOutcome a = run_consensus_spec(spec);
+  const ConsensusOutcome b = run_consensus_spec(spec);
+  EXPECT_EQ(a.decided_value, b.decided_value);
+  EXPECT_EQ(a.decision_time, b.decision_time);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+}
+
+// Message-complexity ordering at fixed n (Table 2): the gossip-backed
+// variants must beat the all-to-all baseline once n is large enough for
+// n log^3 n < n^2 to bite.
+TEST(Consensus, EarsBeatsAllToAllOnMessages) {
+  ConsensusSpec base;
+  base.config.n = 96;
+  base.config.f = 20;
+  base.d = 2;
+  base.delta = 2;
+  base.schedule = SchedulePattern::kStaggered;
+  base.inputs = InputPattern::kHalfHalf;
+  base.seed = 77;
+
+  ConsensusSpec cr = base, ears = base;
+  cr.config.exchange = ExchangeKind::kAllToAll;
+  ears.config.exchange = ExchangeKind::kEars;
+  const ConsensusOutcome ocr = run_consensus_spec(cr);
+  const ConsensusOutcome oears = run_consensus_spec(ears);
+  ASSERT_TRUE(ocr.all_decided && oears.all_decided);
+  EXPECT_LT(oears.total_messages, ocr.total_messages);
+}
+
+// The common coin: both outcomes must occur with constant probability.
+TEST(Consensus, CoinProducesBothOutcomesAcrossSeeds) {
+  int zeros = 0, ones = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    ConsensusSpec spec;
+    spec.config.n = 16;
+    spec.config.f = 3;
+    spec.config.exchange = ExchangeKind::kAllToAll;
+    spec.inputs = InputPattern::kHalfHalf;
+    spec.seed = seed;
+    const ConsensusOutcome out = run_consensus_spec(spec);
+    ASSERT_TRUE(out.all_decided);
+    (out.decided_value == 0 ? zeros : ones)++;
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_GT(ones, 0);
+}
+
+}  // namespace
+}  // namespace asyncgossip

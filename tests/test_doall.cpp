@@ -1,0 +1,91 @@
+#include "apps/doall.h"
+
+#include <gtest/gtest.h>
+
+namespace asyncgossip {
+namespace {
+
+DoAllSpec base_spec(std::size_t n, std::size_t tasks, std::size_t f,
+                    std::uint64_t seed) {
+  DoAllSpec spec;
+  spec.config.n = n;
+  spec.config.tasks = tasks;
+  spec.config.seed = seed;
+  spec.f = f;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(DoAll, CompletesAllTasks) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const DoAllOutcome out = run_doall(base_spec(32, 200, 8, seed));
+    ASSERT_TRUE(out.completed) << "seed " << seed;
+    EXPECT_EQ(out.tasks_executed, 200u);
+    EXPECT_GE(out.total_work, 200u);
+  }
+}
+
+TEST(DoAll, SharingSlashesWork) {
+  DoAllSpec with = base_spec(32, 256, 0, 5);
+  DoAllSpec without = base_spec(32, 256, 0, 5);
+  without.config.share_knowledge = false;
+  const DoAllOutcome ow = run_doall(with);
+  const DoAllOutcome owo = run_doall(without);
+  ASSERT_TRUE(ow.completed && owo.completed);
+  // Without sharing, every process grinds through all t tasks: n*t work.
+  EXPECT_EQ(owo.total_work, 32u * 256u);
+  EXPECT_EQ(owo.messages, 0u);
+  // With gossip, total work collapses toward t + overlap.
+  EXPECT_LT(ow.total_work, owo.total_work / 4);
+}
+
+TEST(DoAll, WorkScalesWithTasksNotProcesses) {
+  const DoAllOutcome small_n = run_doall(base_spec(16, 512, 0, 7));
+  const DoAllOutcome large_n = run_doall(base_spec(64, 512, 0, 7));
+  ASSERT_TRUE(small_n.completed && large_n.completed);
+  // Quadrupling n must not quadruple work (collision overlap grows mildly).
+  EXPECT_LT(large_n.total_work, 2 * small_n.total_work);
+}
+
+TEST(DoAll, SurvivesCrashes) {
+  DoAllSpec spec = base_spec(48, 300, 23, 9);
+  spec.d = 3;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  const DoAllOutcome out = run_doall(spec);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.tasks_executed, 300u);
+  EXPECT_GE(out.alive, 48u - 23u);
+}
+
+TEST(DoAll, FanoutTradesMessagesForTime) {
+  DoAllSpec narrow = base_spec(32, 256, 8, 11);
+  DoAllSpec wide = base_spec(32, 256, 8, 11);
+  wide.config.fanout = 8;
+  const DoAllOutcome on = run_doall(narrow);
+  const DoAllOutcome ow = run_doall(wide);
+  ASSERT_TRUE(on.completed && ow.completed);
+  EXPECT_GT(ow.messages, on.messages);
+  EXPECT_LE(ow.completion_time, on.completion_time);
+}
+
+TEST(DoAll, RejectsBadConfig) {
+  DoAllConfig cfg;
+  cfg.n = 4;
+  cfg.tasks = 0;
+  EXPECT_THROW(DoAllProcess(0, cfg), ModelViolation);
+  cfg.tasks = 4;
+  cfg.fanout = 5;
+  EXPECT_THROW(DoAllProcess(0, cfg), ModelViolation);
+}
+
+TEST(DoAll, Deterministic) {
+  const DoAllOutcome a = run_doall(base_spec(24, 128, 6, 3));
+  const DoAllOutcome b = run_doall(base_spec(24, 128, 6, 3));
+  EXPECT_EQ(a.total_work, b.total_work);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+}
+
+}  // namespace
+}  // namespace asyncgossip

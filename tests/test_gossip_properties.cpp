@@ -1,0 +1,182 @@
+// Property sweep over every gossip algorithm: the paper's three gossip
+// requirements — gathering, validity, quiescence — plus majority gossip for
+// TEARS, across n, f, (d, delta), schedule/delay patterns and seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gossip/completion.h"
+#include "gossip/harness.h"
+#include "gossip/rumor.h"
+
+namespace asyncgossip {
+namespace {
+
+struct SweepCase {
+  GossipAlgorithm algorithm;
+  std::size_t n;
+  std::size_t f;
+  Time d;
+  Time delta;
+  SchedulePattern schedule;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string name = to_string(c.algorithm);
+  for (char& ch : name)
+    if (ch == '-') ch = '_';
+  name += "_n" + std::to_string(c.n) + "_f" + std::to_string(c.f) + "_d" +
+          std::to_string(c.d) + "_del" + std::to_string(c.delta) + "_sch" +
+          std::to_string(static_cast<int>(c.schedule)) + "_s" +
+          std::to_string(c.seed);
+  return name;
+}
+
+class GossipSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(GossipSweep, SatisfiesItsContract) {
+  const SweepCase& c = GetParam();
+  GossipSpec spec;
+  spec.algorithm = c.algorithm;
+  spec.n = c.n;
+  spec.f = c.f;
+  spec.d = c.d;
+  spec.delta = c.delta;
+  spec.schedule = c.schedule;
+  spec.delay = c.d == 1 ? DelayPattern::kUnitDelay : DelayPattern::kUniform;
+  spec.seed = c.seed;
+
+  Engine engine = make_gossip_engine(spec);
+  const GossipOutcome out = run_gossip(engine, default_step_budget(spec));
+
+  // Quiescence: the run must reach a globally quiet state.
+  ASSERT_TRUE(out.completed) << "did not quiesce within the step budget";
+  EXPECT_TRUE(engine.network_empty());
+
+  // Model contract: realized bounds within the configured ones.
+  EXPECT_LE(out.realized_d, c.d);
+  EXPECT_LE(out.realized_delta, c.delta);
+  EXPECT_LE(out.crashes, c.f);
+
+  // Gathering / majority, per algorithm contract.
+  if (c.algorithm == GossipAlgorithm::kTears) {
+    EXPECT_TRUE(out.majority_ok) << "TEARS must deliver a majority of rumors";
+  } else {
+    EXPECT_TRUE(out.gathering_ok)
+        << "every correct rumor must reach every correct process";
+    EXPECT_TRUE(out.majority_ok);
+  }
+
+  // Validity: a set rumor bit can only be a genuine initial rumor — check
+  // rumor sets are well-formed and self-rumor is always present.
+  for (ProcessId p = 0; p < engine.n(); ++p) {
+    if (engine.crashed(p)) continue;
+    const auto& gp = engine.process_as<GossipProcess>(p);
+    EXPECT_EQ(gp.rumors().size(), c.n);
+    EXPECT_TRUE(gp.rumors().test(p));
+  }
+}
+
+std::vector<SweepCase> make_sweep() {
+  std::vector<SweepCase> cases;
+  const GossipAlgorithm algos[] = {
+      GossipAlgorithm::kTrivial, GossipAlgorithm::kEars,
+      GossipAlgorithm::kSears, GossipAlgorithm::kTears,
+      GossipAlgorithm::kEarsNoInformedList};
+  const std::tuple<Time, Time, SchedulePattern> timings[] = {
+      {1, 1, SchedulePattern::kLockStep},
+      {4, 3, SchedulePattern::kStaggered},
+      {8, 1, SchedulePattern::kLockStep},
+      {2, 6, SchedulePattern::kRotating},
+  };
+  for (GossipAlgorithm a : algos) {
+    for (std::size_t n : {32ul, 64ul, 128ul}) {
+      for (std::size_t f : {0ul, n / 4, n / 2 - 1}) {
+        for (const auto& [d, delta, sched] : timings) {
+          // Keep the suite fast: big-n cases only on the two main timings.
+          if (n == 128 && d == 8) continue;
+          cases.push_back(SweepCase{a, n, f, d, delta, sched,
+                                    0xA5EEDull + n * 7 + f * 3});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GossipSweep, ::testing::ValuesIn(make_sweep()),
+                         case_name);
+
+// High-failure regime: EARS tolerates f up to n-1; exercise f = 3n/4.
+class EarsHighFailure : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EarsHighFailure, SurvivesThreeQuarterFailures) {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kEars;
+  spec.n = 64;
+  spec.f = 48;
+  spec.d = 2;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.seed = GetParam();
+  const GossipOutcome out = run_gossip_spec(spec);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.gathering_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarsHighFailure,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// The realized completion time must not depend on when the detector looks:
+// re-running with a larger budget must give identical measurements.
+TEST(GossipDeterminism, OutcomeIndependentOfBudget) {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kEars;
+  spec.n = 48;
+  spec.f = 12;
+  spec.d = 3;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.seed = 321;
+  const GossipOutcome a = run_gossip_spec(spec);
+  spec.max_steps = default_step_budget(spec) * 2;
+  const GossipOutcome b = run_gossip_spec(spec);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(GossipDeterminism, SameSpecSameOutcome) {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kSears;
+  spec.n = 64;
+  spec.f = 16;
+  spec.d = 4;
+  spec.delta = 4;
+  spec.schedule = SchedulePattern::kRandomSubset;
+  spec.seed = 777;
+  const GossipOutcome a = run_gossip_spec(spec);
+  const GossipOutcome b = run_gossip_spec(spec);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.alive, b.alive);
+}
+
+TEST(GossipDeterminism, DifferentSeedsDiffer) {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kEars;
+  spec.n = 64;
+  spec.f = 16;
+  spec.d = 2;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.seed = 1;
+  const GossipOutcome a = run_gossip_spec(spec);
+  spec.seed = 2;
+  const GossipOutcome b = run_gossip_spec(spec);
+  EXPECT_NE(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,144 @@
+// Failure-injection and hostile-schedule integration tests: the algorithms
+// must keep their contracts under the nastiest oblivious patterns the
+// adversary family can produce — simultaneous crash bursts, straggler
+// schedules, and targeted slow links.
+#include <gtest/gtest.h>
+
+#include "consensus/canetti_rabin.h"
+#include "gossip/completion.h"
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+namespace {
+
+Engine engine_with(GossipSpec spec, CrashPlan plan, DelayPattern delay,
+                   SchedulePattern schedule) {
+  ObliviousConfig adv;
+  adv.n = spec.n;
+  adv.d = spec.d;
+  adv.delta = spec.delta;
+  adv.schedule = schedule;
+  adv.delay = delay;
+  adv.crash_plan = std::move(plan);
+  adv.seed = spec.seed ^ 0xA05711EULL;
+  EngineConfig ecfg;
+  ecfg.d = spec.d;
+  ecfg.delta = spec.delta;
+  ecfg.max_crashes = spec.f;
+  return Engine(make_gossip_processes(spec),
+                std::make_unique<ObliviousAdversary>(adv), ecfg);
+}
+
+GossipSpec hostile_spec(GossipAlgorithm alg, std::uint64_t seed) {
+  GossipSpec spec;
+  spec.algorithm = alg;
+  spec.n = 64;
+  spec.f = 24;
+  spec.d = 6;
+  spec.delta = 4;
+  spec.seed = seed;
+  return spec;
+}
+
+class BurstCrash : public ::testing::TestWithParam<GossipAlgorithm> {};
+
+TEST_P(BurstCrash, GossipSurvivesSimultaneousFailures) {
+  // All f processes die at once, mid-dissemination.
+  GossipSpec spec = hostile_spec(GetParam(), 31);
+  Engine engine =
+      engine_with(spec, burst_crashes(spec.n, spec.f, /*when=*/12, 5),
+                  DelayPattern::kUniform, SchedulePattern::kStaggered);
+  const GossipOutcome out = run_gossip(engine, default_step_budget(spec) * 2);
+  ASSERT_TRUE(out.completed);
+  if (GetParam() == GossipAlgorithm::kTears) {
+    EXPECT_TRUE(out.majority_ok);
+  } else {
+    EXPECT_TRUE(out.gathering_ok);
+  }
+  EXPECT_EQ(out.crashes, spec.f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, BurstCrash,
+                         ::testing::Values(GossipAlgorithm::kEars,
+                                           GossipAlgorithm::kSears,
+                                           GossipAlgorithm::kTears,
+                                           GossipAlgorithm::kTrivial,
+                                           GossipAlgorithm::kRoundRobin));
+
+class HostileTiming : public ::testing::TestWithParam<GossipAlgorithm> {};
+
+TEST_P(HostileTiming, StragglersAndSlowLinks) {
+  // The last n/8 processes run at 1/delta speed AND their inbound links
+  // carry the full delay d: the worst legal corner for stopping rules.
+  GossipSpec spec = hostile_spec(GetParam(), 47);
+  Engine engine = engine_with(spec, no_crashes(),
+                              DelayPattern::kTargetedSlow,
+                              SchedulePattern::kStraggler);
+  const GossipOutcome out = run_gossip(engine, default_step_budget(spec) * 2);
+  ASSERT_TRUE(out.completed);
+  if (GetParam() == GossipAlgorithm::kTears) {
+    EXPECT_TRUE(out.majority_ok);
+  } else {
+    EXPECT_TRUE(out.gathering_ok)
+        << "stragglers must still receive and contribute every rumor";
+  }
+  EXPECT_LE(out.realized_d, spec.d);
+  EXPECT_LE(out.realized_delta, spec.delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, HostileTiming,
+                         ::testing::Values(GossipAlgorithm::kEars,
+                                           GossipAlgorithm::kSears,
+                                           GossipAlgorithm::kTears,
+                                           GossipAlgorithm::kRoundRobin));
+
+TEST(HostileConsensus, BurstCrashMidProtocol) {
+  for (ExchangeKind kind :
+       {ExchangeKind::kAllToAll, ExchangeKind::kEars, ExchangeKind::kTears}) {
+    ConsensusSpec spec;
+    spec.config.n = 48;
+    spec.config.f = 23;
+    spec.config.exchange = kind;
+    spec.inputs = InputPattern::kHalfHalf;
+    spec.d = 3;
+    spec.delta = 2;
+    spec.schedule = SchedulePattern::kStaggered;
+    spec.crash_horizon = 1;  // every victim dies in the very first steps
+    spec.seed = 13;
+    const ConsensusOutcome out = run_consensus_spec(spec);
+    ASSERT_TRUE(out.all_decided) << to_string(kind);
+    EXPECT_TRUE(out.agreement) << to_string(kind);
+    EXPECT_TRUE(out.validity) << to_string(kind);
+  }
+}
+
+TEST(HostileConsensus, StragglerScheduleStillDecides) {
+  ConsensusSpec spec;
+  spec.config.n = 48;
+  spec.config.f = 11;
+  spec.config.exchange = ExchangeKind::kSears;
+  spec.inputs = InputPattern::kRandom;
+  spec.d = 4;
+  spec.delta = 6;
+  spec.schedule = SchedulePattern::kStraggler;
+  spec.delay = DelayPattern::kTargetedSlow;
+  spec.seed = 29;
+  const ConsensusOutcome out = run_consensus_spec(spec);
+  ASSERT_TRUE(out.all_decided);
+  EXPECT_TRUE(out.agreement);
+  EXPECT_TRUE(out.validity);
+}
+
+TEST(HostileGossip, MaxDelayEverywhere) {
+  // Every message takes the full d: the slowest legal network.
+  GossipSpec spec = hostile_spec(GossipAlgorithm::kEars, 53);
+  Engine engine = engine_with(spec, no_crashes(), DelayPattern::kMaxDelay,
+                              SchedulePattern::kLockStep);
+  const GossipOutcome out = run_gossip(engine, default_step_budget(spec) * 2);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.gathering_ok);
+  EXPECT_EQ(out.realized_d, spec.d);
+}
+
+}  // namespace
+}  // namespace asyncgossip

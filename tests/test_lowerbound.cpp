@@ -1,0 +1,201 @@
+#include "lowerbound/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "gossip/epidemic.h"
+#include "lowerbound/probe.h"
+
+namespace asyncgossip {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Isolation probe
+// ---------------------------------------------------------------------------
+
+TEST(Probe, DeterministicRunMatchesCloneBehaviour) {
+  EpidemicGossipProcess p(0, make_ears_config(32, 8, 42));
+  const IsolatedRun a = run_isolated(p, 0, 32, {}, 0, 10);
+  const IsolatedRun b = run_isolated(p, 0, 32, {}, 0, 10);
+  EXPECT_EQ(a.total_sent, b.total_sent);
+  EXPECT_EQ(a.sent_to, b.sent_to);
+  EXPECT_EQ(a.total_sent, 10u);  // EARS sends once per awake step
+}
+
+TEST(Probe, DoesNotPerturbTheOriginal) {
+  EpidemicGossipProcess p(0, make_ears_config(32, 8, 42));
+  const auto before = p.rumors();
+  (void)probe_isolated_sends(p, 0, 32, {}, 0, 16, 8, 7);
+  EXPECT_EQ(p.rumors(), before);
+  EXPECT_EQ(p.local_steps(), 0u);
+}
+
+TEST(Probe, EstimatesEarsSendRate) {
+  EpidemicGossipProcess p(0, make_ears_config(64, 16, 5));
+  const IsolationProbeResult r = probe_isolated_sends(p, 0, 64, {}, 0, 20, 16, 3);
+  // An awake EARS process sends exactly one message per step.
+  EXPECT_NEAR(r.expected_messages, 20.0, 1e-9);
+}
+
+TEST(Probe, PerTargetProbabilitiesAreUniformish) {
+  EpidemicGossipProcess p(0, make_ears_config(16, 4, 5));
+  const IsolationProbeResult r =
+      probe_isolated_sends(p, 0, 16, {}, 0, 8, 200, 3);
+  // Pr[>= 1 of 8 uniform picks hits q] = 1 - (15/16)^8 ~ 0.40.
+  for (std::size_t q = 0; q < 16; ++q)
+    EXPECT_NEAR(r.send_probability[q], 0.40, 0.15);
+}
+
+TEST(Probe, SelfSendsAreLoopedBack) {
+  // A lazy process that receives its own novel payload must not treat it
+  // as novelty (it merges nothing new) — the loop-back path must at least
+  // not crash and count the self-send.
+  EpidemicGossipProcess p(2, make_ears_config(4, 1, 99));
+  const IsolatedRun run = run_isolated(p, 2, 4, {}, 0, 16);
+  EXPECT_EQ(run.total_sent, 16u);
+}
+
+TEST(Probe, RequiresTrials) {
+  EpidemicGossipProcess p(0, make_ears_config(8, 2, 1));
+  EXPECT_THROW(probe_isolated_sends(p, 0, 8, {}, 0, 4, 0, 1),
+               ModelViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 construction
+// ---------------------------------------------------------------------------
+
+TEST(LowerBound, RequiresLargeEnoughF) {
+  LowerBoundConfig cfg;
+  cfg.spec.algorithm = GossipAlgorithm::kEars;
+  cfg.spec.n = 64;
+  cfg.f = 4;  // f_eff < 8
+  EXPECT_THROW(run_lower_bound(cfg), ModelViolation);
+}
+
+TEST(LowerBound, EarsIsPromiscuousAndPaysCase1) {
+  LowerBoundConfig cfg;
+  cfg.spec.algorithm = GossipAlgorithm::kEars;
+  cfg.spec.n = 256;
+  cfg.spec.seed = 3;
+  // A shorter shut-down phase keeps phase 1 comfortably under the t <= f
+  // threshold so the probe branch (rather than kSlowPhase1) is exercised.
+  cfg.spec.ears_shutdown_constant = 2.0;
+  cfg.f = 64;
+  const LowerBoundReport r = run_lower_bound(cfg);
+  ASSERT_EQ(r.outcome, LowerBoundCase::kCase1Messages);
+  // f_eff/4 promiscuous processes each expected to send >= f_eff/32 in the
+  // window; EARS sends one per step, so the window yields ~ f^2/4.
+  const std::uint64_t f = r.f_eff;
+  EXPECT_GE(r.case1_window_messages, f * f / 8);
+  EXPECT_TRUE(r.construction_ok);
+  EXPECT_EQ(r.crashes_used, 0u);  // Case 1 fails nobody
+}
+
+TEST(LowerBound, Case1MessagesScaleQuadratically) {
+  // n >= 256 keeps EARS' polylog phase 1 under the t <= f_eff threshold so
+  // the probe branch is reached (at n = 128, f_eff = 32 the slow-phase1
+  // outcome legitimately fires instead).
+  std::uint64_t msgs_small = 0, msgs_large = 0;
+  for (std::size_t n : {256ul, 512ul}) {
+    LowerBoundConfig cfg;
+    cfg.spec.algorithm = GossipAlgorithm::kEars;
+    cfg.spec.n = n;
+    cfg.spec.seed = 11;
+    cfg.spec.ears_shutdown_constant = 2.0;
+    cfg.f = n / 4;
+    const LowerBoundReport r = run_lower_bound(cfg);
+    ASSERT_EQ(r.outcome, LowerBoundCase::kCase1Messages);
+    (n == 256 ? msgs_small : msgs_large) = r.case1_window_messages;
+  }
+  // f doubled => window messages ~4x (allow slack).
+  EXPECT_GE(msgs_large, 3 * msgs_small);
+}
+
+class LazyCase2 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyCase2, IsolatesAMutuallySilentPair) {
+  LowerBoundConfig cfg;
+  cfg.spec.algorithm = GossipAlgorithm::kLazy;
+  cfg.spec.lazy_fanout = 1;
+  cfg.spec.n = 256;
+  cfg.spec.seed = GetParam();
+  cfg.f = 64;
+  const LowerBoundReport r = run_lower_bound(cfg);
+  ASSERT_EQ(r.outcome, LowerBoundCase::kCase2Time);
+  EXPECT_NE(r.pair_p, kNoProcess);
+  EXPECT_NE(r.pair_q, kNoProcess);
+  EXPECT_NE(r.pair_p, r.pair_q);
+  // The window must stretch for f_eff/2 local steps at delta_w spacing.
+  EXPECT_GE(r.case2_window_end,
+            r.phase1_end + (r.f_eff / 2) * r.case2_delta_w);
+  // The crash accounting must respect the proof's budget: f/2 - 2 in S2
+  // plus at most f/4 beheaded helpers.
+  EXPECT_LE(r.crashes_used, cfg.f);
+  if (r.construction_ok) {
+    EXPECT_FALSE(r.pair_communicated);
+    // The pair never exchanged rumors; the lazy cascade was beheaded, so
+    // gathering is impossible: completion time is unbounded.
+    EXPECT_FALSE(r.gathering_ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyCase2, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LowerBound, Case2ConstructionSucceedsOnMostSeeds) {
+  // The proof gives success probability >= 1/8 per attempt; empirically the
+  // lazy foil is far tamer. Expect a clear majority of seeds to work.
+  int ok = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    LowerBoundConfig cfg;
+    cfg.spec.algorithm = GossipAlgorithm::kLazy;
+    cfg.spec.lazy_fanout = 1;
+    // f_eff = 64 puts the promiscuity threshold (f/32 = 2) strictly above
+    // lazy's one-send-per-wave rate; at f = 32 the threshold equals it and
+    // the proof's Case 1 fires instead.
+    cfg.spec.n = 256;
+    cfg.spec.seed = seed + 100;
+    cfg.f = 64;
+    const LowerBoundReport r = run_lower_bound(cfg);
+    if (r.outcome == LowerBoundCase::kCase2Time && r.construction_ok) ++ok;
+  }
+  EXPECT_GE(ok, 6);
+}
+
+TEST(LowerBound, TrivialGossipPaysCase1WithFullBlast) {
+  LowerBoundConfig cfg;
+  cfg.spec.algorithm = GossipAlgorithm::kTrivial;
+  cfg.spec.n = 128;
+  cfg.spec.seed = 5;
+  cfg.f = 32;
+  const LowerBoundReport r = run_lower_bound(cfg);
+  ASSERT_EQ(r.outcome, LowerBoundCase::kCase1Messages);
+  // Each S2 process broadcasts n messages in its first step.
+  EXPECT_GE(r.case1_window_messages,
+            static_cast<std::uint64_t>(r.s2_size) * cfg.spec.n / 2);
+}
+
+TEST(LowerBound, FEffCapsAtQuarterN) {
+  LowerBoundConfig cfg;
+  cfg.spec.algorithm = GossipAlgorithm::kEars;
+  cfg.spec.n = 64;
+  cfg.spec.seed = 2;
+  cfg.f = 60;  // > n/4
+  const LowerBoundReport r = run_lower_bound(cfg);
+  EXPECT_EQ(r.f_eff, 16u);
+  EXPECT_EQ(r.s2_size, 8u);
+}
+
+TEST(LowerBound, ReportsRealizedBounds) {
+  LowerBoundConfig cfg;
+  cfg.spec.algorithm = GossipAlgorithm::kEars;
+  cfg.spec.n = 128;
+  cfg.spec.seed = 9;
+  cfg.f = 32;
+  const LowerBoundReport r = run_lower_bound(cfg);
+  EXPECT_GE(r.realized_d, 1u);
+  EXPECT_GE(r.realized_delta, 1u);
+  EXPECT_GT(r.total_messages, 0u);
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Xoshiro256SS a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256SS a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, CopyReplaysFuture) {
+  Xoshiro256SS a(7);
+  a.next();
+  a.next();
+  Xoshiro256SS b = a;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Xoshiro256SS rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t v = rng.uniform(bound);
+      ASSERT_LT(v, bound);
+    }
+  }
+}
+
+TEST(Rng, UniformOneIsAlwaysZero) {
+  Xoshiro256SS rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Xoshiro256SS rng(5);
+  EXPECT_THROW(rng.uniform(0), ModelViolation);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Xoshiro256SS rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++histogram[rng.uniform(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_GT(histogram[b], kSamples / 10 - kSamples / 40);
+    EXPECT_LT(histogram[b], kSamples / 10 + kSamples / 40);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Xoshiro256SS rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Xoshiro256SS rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Xoshiro256SS rng(19);
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Xoshiro256SS rng(23);
+  for (std::uint64_t bound : {5ULL, 16ULL, 100ULL}) {
+    for (std::uint64_t k = 0; k <= bound; k += (bound / 5) + 1) {
+      const auto sample = rng.sample_without_replacement(bound, k);
+      ASSERT_EQ(sample.size(), k);
+      std::set<std::uint64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (std::uint64_t v : sample) EXPECT_LT(v, bound);
+    }
+  }
+}
+
+TEST(Rng, SampleFullRangeIsPermutation) {
+  Xoshiro256SS rng(29);
+  const auto sample = rng.sample_without_replacement(50, 50);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Rng, SampleTooManyThrows) {
+  Xoshiro256SS rng(31);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), ModelViolation);
+}
+
+TEST(Rng, SampleCoversRange) {
+  // Every element of a small range should appear across many draws.
+  Xoshiro256SS rng(37);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i)
+    for (std::uint64_t v : rng.sample_without_replacement(8, 2)) seen.insert(v);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Xoshiro256SS a(41);
+  Xoshiro256SS child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, JumpChangesState) {
+  Xoshiro256SS a(43), b(43);
+  b.jump();
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+#include <cmath>
+#include <set>
+
+#include "gossip/epidemic.h"
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+namespace {
+
+TEST(SearsConfig, FanoutFormula) {
+  const EpidemicConfig cfg = make_sears_config(256, 64, 0.5, 1, 1.0);
+  const double expected = std::ceil(std::sqrt(256.0) * std::log(256.0));
+  EXPECT_EQ(cfg.fanout, static_cast<std::size_t>(expected));
+  EXPECT_EQ(cfg.shutdown_steps, 1u);
+}
+
+TEST(SearsConfig, FanoutClampedToN) {
+  const EpidemicConfig cfg = make_sears_config(8, 2, 0.9, 1, 100.0);
+  EXPECT_EQ(cfg.fanout, 8u);
+}
+
+TEST(SearsConfig, FanoutGrowsWithEpsilon) {
+  const auto lo = make_sears_config(1024, 256, 0.25, 1);
+  const auto hi = make_sears_config(1024, 256, 0.75, 1);
+  EXPECT_GT(hi.fanout, lo.fanout);
+}
+
+TEST(SearsConfig, RejectsBadEpsilon) {
+  EXPECT_THROW(make_sears_config(64, 16, 0.0, 1), ModelViolation);
+  EXPECT_THROW(make_sears_config(64, 16, 1.0, 1), ModelViolation);
+  EXPECT_THROW(make_sears_config(64, 16, -0.5, 1), ModelViolation);
+}
+
+TEST(Sears, SendsFanoutDistinctTargetsPerStep) {
+  const EpidemicConfig cfg = make_sears_config(64, 16, 0.5, 5);
+  EpidemicGossipProcess p(0, cfg);
+  std::vector<Envelope> empty;
+  StepContext ctx(0, 64, 0, empty);
+  p.step(ctx);
+  ASSERT_EQ(ctx.outbox().size(), cfg.fanout);
+  std::set<ProcessId> targets;
+  for (const auto& o : ctx.outbox()) targets.insert(o.to);
+  EXPECT_EQ(targets.size(), cfg.fanout);  // distinct
+}
+
+TEST(Sears, SharesOnePayloadAcrossBatch) {
+  const EpidemicConfig cfg = make_sears_config(64, 16, 0.5, 5);
+  EpidemicGossipProcess p(0, cfg);
+  std::vector<Envelope> empty;
+  StepContext ctx(0, 64, 0, empty);
+  p.step(ctx);
+  ASSERT_GE(ctx.outbox().size(), 2u);
+  EXPECT_EQ(ctx.outbox()[0].payload.get(), ctx.outbox()[1].payload.get());
+}
+
+TEST(Sears, FasterButChattierThanEars) {
+  GossipSpec ears, sears;
+  ears.algorithm = GossipAlgorithm::kEars;
+  sears.algorithm = GossipAlgorithm::kSears;
+  for (GossipSpec* s : {&ears, &sears}) {
+    s->n = 128;
+    s->f = 32;
+    s->d = 2;
+    s->delta = 2;
+    s->schedule = SchedulePattern::kStaggered;
+    s->seed = 9;
+  }
+  const GossipOutcome oe = run_gossip_spec(ears);
+  const GossipOutcome os = run_gossip_spec(sears);
+  ASSERT_TRUE(oe.completed && os.completed);
+  ASSERT_TRUE(oe.gathering_ok && os.gathering_ok);
+  EXPECT_LT(os.completion_time, oe.completion_time);
+  EXPECT_GT(os.messages, oe.messages);
+}
+
+// Time complexity claim: constant w.r.t. n (for fixed f/n, d, delta). The
+// completion time should stay within a narrow band as n quadruples.
+TEST(Sears, CompletionTimeRoughlyConstantInN) {
+  std::vector<double> times;
+  for (std::size_t n : {64ul, 128ul, 256ul}) {
+    GossipSpec spec;
+    spec.algorithm = GossipAlgorithm::kSears;
+    spec.n = n;
+    spec.f = n / 4;
+    spec.d = 2;
+    spec.delta = 2;
+    spec.schedule = SchedulePattern::kStaggered;
+    spec.seed = 17;
+    const GossipOutcome out = run_gossip_spec(spec);
+    ASSERT_TRUE(out.completed);
+    times.push_back(static_cast<double>(out.completion_time));
+  }
+  // Allow slack for constants; rule out linear growth (4x over the sweep).
+  EXPECT_LT(times.back(), times.front() * 3.0);
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,90 @@
+#include "gossip/sync_gossip.h"
+
+#include <gtest/gtest.h>
+
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+namespace {
+
+TEST(SyncGossip, RoundBudgetFormula) {
+  EXPECT_EQ(make_sync_rounds(256, 3.0), 25u);  // ceil(3*8)+1
+  EXPECT_GE(make_sync_rounds(2, 1.0), 2u);
+}
+
+TEST(SyncGossip, StopsAfterRoundBudgetUnconditionally) {
+  SyncGossipProcess p(0, 32, 5, 1);
+  std::vector<Envelope> empty;
+  for (int s = 0; s < 5; ++s) {
+    StepContext ctx(0, 32, static_cast<std::uint64_t>(s), empty);
+    p.step(ctx);
+    EXPECT_EQ(ctx.outbox().size(), 1u);
+    EXPECT_FALSE(s < 4 && p.quiescent());
+  }
+  EXPECT_TRUE(p.quiescent());
+  StepContext ctx(0, 32, 5, empty);
+  p.step(ctx);
+  EXPECT_TRUE(ctx.outbox().empty());
+}
+
+TEST(SyncGossip, GathersAtUnitTimingWithCrashes) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    GossipSpec spec;
+    spec.algorithm = GossipAlgorithm::kSync;
+    spec.n = 128;
+    spec.f = 32;
+    spec.d = 1;
+    spec.delta = 1;
+    spec.schedule = SchedulePattern::kLockStep;
+    spec.delay = DelayPattern::kUnitDelay;
+    spec.crash_horizon = 8;
+    spec.seed = seed;
+    const GossipOutcome out = run_gossip_spec(spec);
+    ASSERT_TRUE(out.completed);
+    EXPECT_TRUE(out.gathering_ok) << "seed " << seed;
+  }
+}
+
+TEST(SyncGossip, MessageComplexityNLogN) {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kSync;
+  spec.n = 256;
+  spec.f = 0;
+  spec.d = 1;
+  spec.delta = 1;
+  spec.schedule = SchedulePattern::kLockStep;
+  spec.delay = DelayPattern::kUnitDelay;
+  spec.seed = 5;
+  const GossipOutcome out = run_gossip_spec(spec);
+  ASSERT_TRUE(out.completed);
+  // Exactly n * R messages: every process sends one per round.
+  EXPECT_EQ(out.messages, 256u * make_sync_rounds(256));
+  // Completion = R (all sends happen in rounds 0..R-1).
+  EXPECT_EQ(out.completion_time, make_sync_rounds(256));
+}
+
+TEST(SyncGossip, KnownSynchronyIsTheAdvantage) {
+  // Same workload: the synchronous algorithm stops by round count; EARS
+  // must buy its stopping rule with informed-list traffic. At d = delta = 1
+  // sync wins on messages.
+  GossipSpec sync_spec, ears_spec;
+  sync_spec.algorithm = GossipAlgorithm::kSync;
+  ears_spec.algorithm = GossipAlgorithm::kEars;
+  for (GossipSpec* s : {&sync_spec, &ears_spec}) {
+    s->n = 128;
+    s->f = 16;
+    s->d = 1;
+    s->delta = 1;
+    s->schedule = SchedulePattern::kLockStep;
+    s->delay = DelayPattern::kUnitDelay;
+    s->seed = 21;
+  }
+  const GossipOutcome osync = run_gossip_spec(sync_spec);
+  const GossipOutcome oears = run_gossip_spec(ears_spec);
+  ASSERT_TRUE(osync.completed && oears.completed);
+  ASSERT_TRUE(osync.gathering_ok && oears.gathering_ok);
+  EXPECT_LT(osync.messages, oears.messages);
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,276 @@
+#include "gossip/tears.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+#include <cmath>
+
+#include "gossip/completion.h"
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+namespace {
+
+TearsConfig paper_config(std::size_t n, std::uint64_t seed = 1) {
+  TearsConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.finalize();
+  return cfg;
+}
+
+TEST(TearsConfig, PaperParameterFormulas) {
+  TearsConfig cfg;
+  cfg.n = 65536;  // large enough that a < n
+  cfg.finalize();
+  const double log2n = 16.0;
+  EXPECT_EQ(cfg.a, static_cast<std::size_t>(std::ceil(4.0 * 256.0 * log2n)));
+  EXPECT_EQ(cfg.mu, cfg.a / 2);
+  EXPECT_EQ(cfg.kappa,
+            static_cast<std::size_t>(std::ceil(8.0 * 16.0 * log2n)));
+}
+
+TEST(TearsConfig, ACappedBelowN) {
+  const TearsConfig cfg = paper_config(64);
+  EXPECT_LE(cfg.a, 63u);
+  EXPECT_GE(cfg.a, 1u);
+  EXPECT_GE(cfg.mu, 1u);
+  EXPECT_GE(cfg.kappa, 1u);
+}
+
+TEST(TearsConfig, RejectsTinyN) {
+  TearsConfig cfg;
+  cfg.n = 1;
+  EXPECT_THROW(cfg.finalize(), ModelViolation);
+}
+
+TEST(Tears, PiSetsExcludeSelf) {
+  const TearsProcess p(5, paper_config(128));
+  for (ProcessId q : p.pi1()) EXPECT_NE(q, 5u);
+  for (ProcessId q : p.pi2()) EXPECT_NE(q, 5u);
+}
+
+TEST(Tears, PiSetSizesNearExpectation) {
+  // E[|Pi|] = (n-1) * a/n; with a capped near n the sets are near-full.
+  const std::size_t n = 4096;
+  TearsConfig cfg;
+  cfg.n = n;
+  cfg.a_constant = 1.0;  // a = sqrt(n) log2 n = 768 < n
+  cfg.seed = 3;
+  cfg.finalize();
+  const TearsProcess p(0, cfg);
+  const double expect = static_cast<double>(n - 1) *
+                        static_cast<double>(cfg.a) / static_cast<double>(n);
+  EXPECT_NEAR(static_cast<double>(p.pi1().size()), expect, 0.2 * expect);
+  EXPECT_NEAR(static_cast<double>(p.pi2().size()), expect, 0.2 * expect);
+}
+
+TEST(Tears, FirstStepSendsFirstLevelToPi1) {
+  TearsProcess p(0, paper_config(64));
+  std::vector<Envelope> empty;
+  StepContext ctx(0, 64, 0, empty);
+  p.step(ctx);
+  EXPECT_EQ(ctx.outbox().size(), p.pi1().size());
+  for (const auto& o : ctx.outbox()) {
+    const auto* m = dynamic_cast<const TearsPayload*>(o.payload.get());
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(m->flag_up);
+    EXPECT_TRUE(m->rumors.test(0));
+  }
+  EXPECT_TRUE(p.quiescent());  // no pending sends without new input
+}
+
+TEST(Tears, NoSpontaneousSendsAfterFirstStep) {
+  TearsProcess p(0, paper_config(64));
+  std::vector<Envelope> empty;
+  {
+    StepContext ctx(0, 64, 0, empty);
+    p.step(ctx);
+  }
+  for (int s = 1; s < 20; ++s) {
+    StepContext ctx(0, 64, static_cast<std::uint64_t>(s), empty);
+    p.step(ctx);
+    EXPECT_TRUE(ctx.outbox().empty());
+  }
+}
+
+TEST(Tears, SecondLevelTriggeredInBand) {
+  TearsConfig cfg = paper_config(64, 7);
+  TearsProcess p(0, cfg);
+  std::vector<Envelope> empty;
+  {
+    StepContext ctx(0, 64, 0, empty);
+    p.step(ctx);  // consume the first-level send
+  }
+  // Feed first-level messages one at a time until the count enters the
+  // trigger band; then a second-level batch to Pi2 must be emitted.
+  auto up = std::make_shared<TearsPayload>();
+  up->rumors = DynamicBitset(64);
+  up->rumors.set(1);
+  up->flag_up = true;
+  const std::uint64_t band_lo = cfg.mu > cfg.kappa ? cfg.mu - cfg.kappa : 0;
+  bool fired = false;
+  for (std::uint64_t i = 1; i <= cfg.mu + 1 && !fired; ++i) {
+    Envelope env;
+    env.from = 1;
+    env.to = 0;
+    env.payload = up;
+    std::vector<Envelope> inbox{env};
+    StepContext ctx(0, 64, i, inbox);
+    p.step(ctx);
+    if (!ctx.outbox().empty()) {
+      fired = true;
+      EXPECT_GE(p.up_messages_received(), band_lo);
+      EXPECT_EQ(ctx.outbox().size(), p.pi2().size());
+      const auto* m =
+          dynamic_cast<const TearsPayload*>(ctx.outbox()[0].payload.get());
+      ASSERT_NE(m, nullptr);
+      EXPECT_FALSE(m->flag_up);
+      EXPECT_TRUE(m->rumors.test(1));  // gathered rumor forwarded
+    }
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_GT(p.second_level_batches_sent(), 0u);
+}
+
+TEST(Tears, DownMessagesDoNotTrigger) {
+  TearsProcess p(0, paper_config(64, 11));
+  std::vector<Envelope> empty;
+  {
+    StepContext ctx(0, 64, 0, empty);
+    p.step(ctx);
+  }
+  auto down = std::make_shared<TearsPayload>();
+  down->rumors = DynamicBitset(64);
+  down->rumors.set(2);
+  down->flag_up = false;
+  for (int i = 0; i < 200; ++i) {
+    Envelope env;
+    env.from = 2;
+    env.to = 0;
+    env.payload = down;
+    std::vector<Envelope> inbox{env};
+    StepContext ctx(0, 64, static_cast<std::uint64_t>(i + 1), inbox);
+    p.step(ctx);
+    EXPECT_TRUE(ctx.outbox().empty());
+  }
+  EXPECT_EQ(p.up_messages_received(), 0u);
+  EXPECT_TRUE(p.rumors().test(2));  // content still absorbed
+}
+
+// Lemma 8: every process sends either 0 or between a - kappa and a + kappa
+// point-to-point messages in each step (w.h.p.). Check over a full run.
+TEST(Tears, Lemma8PerStepSendBand) {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kTears;
+  spec.n = 256;
+  spec.f = 64;
+  spec.d = 2;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.seed = 13;
+  spec.tears_a_constant = 1.0;  // keep a below n so the bound is informative
+  spec.tears_kappa_constant = 1.0;
+
+  TearsConfig cfg;
+  cfg.n = spec.n;
+  cfg.a_constant = spec.tears_a_constant;
+  cfg.kappa_constant = spec.tears_kappa_constant;
+  cfg.finalize();
+
+  Engine engine = make_gossip_engine(spec);
+  const Time budget = default_step_budget(spec);
+  for (Time t = 0; t < budget && !gossip_quiet(engine); ++t) {
+    engine.run(1);
+    for (ProcessId p = 0; p < engine.n(); ++p) {
+      if (engine.crashed(p)) continue;
+      const auto& tp = engine.process_as<TearsProcess>(p);
+      const std::uint64_t sent = tp.messages_sent_last_step();
+      if (sent == 0) continue;
+      // The band is a statistical statement about |Pi| ~ Binomial(n-1, a/n);
+      // verify with generous slack. A step that combines the first-level
+      // batch with a trigger batch may emit |Pi1| + |Pi2|, hence the factor
+      // 2 on the upper edge.
+      EXPECT_GE(sent, cfg.a > 2 * cfg.kappa ? cfg.a - 2 * cfg.kappa : 0u);
+      EXPECT_LE(sent, 2 * (cfg.a + 2 * cfg.kappa));
+    }
+  }
+  EXPECT_TRUE(gossip_quiet(engine));
+}
+
+// Majority gossip (Lemmas 9-11): across seeds, every correct process ends
+// with a majority of rumors.
+class TearsMajority : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TearsMajority, MajorityReachedAcrossSeeds) {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kTears;
+  spec.n = 128;
+  spec.f = 63;
+  spec.d = 3;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.seed = GetParam();
+  const GossipOutcome out = run_gossip_spec(spec);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.majority_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TearsMajority,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// The headline claim: TEARS message complexity does not depend on d, delta.
+TEST(Tears, MessageCountIndependentOfDelays) {
+  std::vector<std::uint64_t> counts;
+  for (Time d : {1ull, 8ull, 32ull}) {
+    GossipSpec spec;
+    spec.algorithm = GossipAlgorithm::kTears;
+    spec.n = 128;
+    spec.f = 32;
+    spec.d = d;
+    spec.delta = 4;
+    spec.schedule = SchedulePattern::kStaggered;
+    spec.delay = DelayPattern::kUniform;
+    spec.seed = 23;
+    const GossipOutcome out = run_gossip_spec(spec);
+    ASSERT_TRUE(out.completed);
+    counts.push_back(out.messages);
+  }
+  // Larger d trickles first-level arrivals, so more band values fire their
+  // own second-level batch — up to the d-independent worst case of Lemma 8,
+  // never proportionally to d. Going from d=1 to d=32 must stay well below
+  // a 32x blow-up, and every count must respect the asymptotic bound.
+  const double lo = static_cast<double>(counts[0]);
+  TearsConfig cfg;
+  cfg.n = 128;
+  cfg.seed = 23;
+  cfg.finalize();
+  // Per-process worst case: first level (a+kappa) plus
+  // (2 kappa + 1 + received/kappa) trigger batches of (a+kappa) each.
+  const double per_proc =
+      static_cast<double>(cfg.a + cfg.kappa) *
+      (2.0 * static_cast<double>(cfg.kappa) + 2.0 +
+       4.0 * static_cast<double>(cfg.a + cfg.kappa) /
+           static_cast<double>(cfg.kappa));
+  for (std::uint64_t c : counts) {
+    EXPECT_GT(static_cast<double>(c), 0.25 * lo);
+    EXPECT_LT(static_cast<double>(c), 6.0 * lo);          // not ~32x
+    EXPECT_LT(static_cast<double>(c), 128.0 * per_proc);  // Lemma 8 budget
+  }
+}
+
+TEST(Tears, TriggerCrossedEdgeCases) {
+  TearsConfig cfg;
+  cfg.n = 65536;
+  cfg.seed = 1;
+  cfg.finalize();
+  TearsProcess p(0, cfg);
+  // Accessible only indirectly; exercise via counting behaviour above.
+  // Here verify config invariants used by the trigger:
+  EXPECT_GT(cfg.mu, cfg.kappa);  // band lower edge positive at large n
+  EXPECT_EQ(cfg.mu, cfg.a / 2);
+}
+
+}  // namespace
+}  // namespace asyncgossip

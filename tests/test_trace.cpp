@@ -1,0 +1,131 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gossip/completion.h"
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+namespace {
+
+GossipSpec small_spec() {
+  GossipSpec spec;
+  spec.algorithm = GossipAlgorithm::kEars;
+  spec.n = 24;
+  spec.f = 6;
+  spec.d = 3;
+  spec.delta = 2;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(Trace, CountersMatchEngineMetrics) {
+  GossipSpec spec = small_spec();
+  Engine engine = make_gossip_engine(spec);
+  TraceRecorder trace;
+  engine.set_observer(&trace);
+  engine.run_until(gossip_quiet, default_step_budget(spec));
+  EXPECT_EQ(trace.sends(), engine.metrics().messages_sent());
+  EXPECT_EQ(trace.deliveries(), engine.metrics().messages_delivered());
+  EXPECT_EQ(trace.steps(), engine.metrics().local_steps());
+  EXPECT_EQ(trace.crashes(), engine.crashes_so_far());
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, ObservationDoesNotPerturbExecution) {
+  GossipSpec spec = small_spec();
+  Engine plain = make_gossip_engine(spec);
+  Engine observed = make_gossip_engine(spec);
+  TraceRecorder trace;
+  observed.set_observer(&trace);
+  plain.run(200);
+  observed.run(200);
+  EXPECT_EQ(plain.trace_hash(), observed.trace_hash());
+  EXPECT_EQ(plain.metrics().messages_sent(),
+            observed.metrics().messages_sent());
+}
+
+TEST(Trace, DeliveryNeverPrecedesSend) {
+  GossipSpec spec = small_spec();
+  Engine engine = make_gossip_engine(spec);
+  TraceRecorder trace;
+  engine.set_observer(&trace);
+  engine.run(300);
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceRecorder::EventKind::kDelivery) {
+      EXPECT_GT(e.time, e.send_time);  // strictly: no same-step relay
+      EXPECT_LE(e.time, e.send_time + spec.d + spec.delta);
+    }
+  }
+}
+
+TEST(Trace, CrashedProcessesEmitNoFurtherEvents) {
+  GossipSpec spec = small_spec();
+  Engine engine = make_gossip_engine(spec);
+  TraceRecorder trace;
+  engine.set_observer(&trace);
+  engine.run(400);
+  std::vector<Time> crash_time(spec.n, kTimeMax);
+  for (const auto& e : trace.events())
+    if (e.kind == TraceRecorder::EventKind::kCrash)
+      crash_time[e.process] = e.time;
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceRecorder::EventKind::kStep ||
+        e.kind == TraceRecorder::EventKind::kSend) {
+      ASSERT_LT(e.process, spec.n);
+      EXPECT_LE(e.time, crash_time[e.process])
+          << "event after crash of process " << e.process;
+    }
+  }
+}
+
+TEST(Trace, LatencyWithinModelBounds) {
+  GossipSpec spec = small_spec();
+  Engine engine = make_gossip_engine(spec);
+  TraceRecorder trace;
+  engine.set_observer(&trace);
+  engine.run(300);
+  const Summary lat = trace.latency_summary();
+  ASSERT_GT(lat.count, 0u);
+  EXPECT_GE(lat.min, 1.0);
+  EXPECT_LE(lat.max, static_cast<double>(spec.d + spec.delta));
+}
+
+TEST(Trace, BoundedLogDropsButKeepsCounting) {
+  GossipSpec spec = small_spec();
+  Engine engine = make_gossip_engine(spec);
+  TraceRecorder trace(/*max_events=*/10);
+  engine.set_observer(&trace);
+  engine.run(100);
+  EXPECT_EQ(trace.events().size(), 10u);
+  EXPECT_GT(trace.dropped(), 0u);
+  EXPECT_GT(trace.sends(), 10u);
+}
+
+TEST(Trace, TimelineRendersGrid) {
+  GossipSpec spec = small_spec();
+  spec.n = 8;
+  spec.f = 2;
+  Engine engine = make_gossip_engine(spec);
+  TraceRecorder trace;
+  engine.set_observer(&trace);
+  engine.run(40);
+  const std::string grid = trace.render_timeline(8, 8, 40);
+  // 8 rows, each "%4zu " + 40 cells + newline.
+  EXPECT_EQ(std::count(grid.begin(), grid.end(), '\n'), 8);
+  EXPECT_NE(grid.find('s'), std::string::npos);  // someone sent something
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder trace;
+  trace.on_step(1, 0);
+  trace.clear();
+  EXPECT_EQ(trace.steps(), 0u);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,331 @@
+// gossiplab — command-line experiment runner.
+//
+// Subcommands:
+//   gossip     run one gossip execution, print a summary (or --csv row)
+//   sweep      run a gossip algorithm over a list of n values, CSV output
+//   consensus  run one consensus execution
+//   lowerbound run the Theorem 1 adaptive adversary against an algorithm
+//   trace      run a small gossip execution and print its ASCII timeline
+//
+// Examples:
+//   gossiplab gossip --alg ears --n 256 --f 64 --d 4 --delta 3 --seed 1
+//   gossiplab sweep --alg tears --n 256,512,1024 --fpct 25 --csv
+//   gossiplab consensus --exchange tears --n 128 --seed 7
+//   gossiplab lowerbound --alg lazy --f 64 --seed 3
+//   gossiplab trace --alg ears --n 16 --f 4 --steps 96
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consensus/canetti_rabin.h"
+#include "gossip/harness.h"
+#include "lowerbound/adaptive.h"
+#include "sim/trace.h"
+
+using namespace asyncgossip;
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+std::uint64_t get_u64(const Flags& f, const std::string& key,
+                      std::uint64_t fallback) {
+  auto it = f.find(key);
+  return it == f.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double get_double(const Flags& f, const std::string& key, double fallback) {
+  auto it = f.find(key);
+  return it == f.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string get_str(const Flags& f, const std::string& key,
+                    const std::string& fallback) {
+  auto it = f.find(key);
+  return it == f.end() ? fallback : it->second;
+}
+
+bool has_flag(const Flags& f, const std::string& key) {
+  return f.count(key) > 0;
+}
+
+std::vector<std::uint64_t> parse_list(const std::string& s) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoull(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+GossipAlgorithm parse_algorithm(const std::string& name) {
+  if (name == "trivial") return GossipAlgorithm::kTrivial;
+  if (name == "ears") return GossipAlgorithm::kEars;
+  if (name == "sears") return GossipAlgorithm::kSears;
+  if (name == "tears") return GossipAlgorithm::kTears;
+  if (name == "sync") return GossipAlgorithm::kSync;
+  if (name == "ears-no-informed-list")
+    return GossipAlgorithm::kEarsNoInformedList;
+  if (name == "lazy") return GossipAlgorithm::kLazy;
+  if (name == "round-robin") return GossipAlgorithm::kRoundRobin;
+  std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
+  std::exit(2);
+}
+
+ExchangeKind parse_exchange(const std::string& name) {
+  if (name == "all-to-all" || name == "cr") return ExchangeKind::kAllToAll;
+  if (name == "ears") return ExchangeKind::kEars;
+  if (name == "sears") return ExchangeKind::kSears;
+  if (name == "tears") return ExchangeKind::kTears;
+  std::fprintf(stderr, "unknown exchange: %s\n", name.c_str());
+  std::exit(2);
+}
+
+SchedulePattern parse_schedule(const std::string& name) {
+  if (name == "lockstep") return SchedulePattern::kLockStep;
+  if (name == "staggered") return SchedulePattern::kStaggered;
+  if (name == "random") return SchedulePattern::kRandomSubset;
+  if (name == "rotating") return SchedulePattern::kRotating;
+  if (name == "straggler") return SchedulePattern::kStraggler;
+  std::fprintf(stderr, "unknown schedule: %s\n", name.c_str());
+  std::exit(2);
+}
+
+DelayPattern parse_delay(const std::string& name) {
+  if (name == "unit") return DelayPattern::kUnitDelay;
+  if (name == "max") return DelayPattern::kMaxDelay;
+  if (name == "uniform") return DelayPattern::kUniform;
+  if (name == "bimodal") return DelayPattern::kBimodal;
+  if (name == "targeted") return DelayPattern::kTargetedSlow;
+  std::fprintf(stderr, "unknown delay pattern: %s\n", name.c_str());
+  std::exit(2);
+}
+
+GossipSpec spec_from_flags(const Flags& f) {
+  GossipSpec spec;
+  spec.algorithm = parse_algorithm(get_str(f, "alg", "ears"));
+  spec.n = get_u64(f, "n", 64);
+  spec.f = get_u64(f, "f", spec.n / 4);
+  spec.d = get_u64(f, "d", 1);
+  spec.delta = get_u64(f, "delta", 1);
+  spec.seed = get_u64(f, "seed", 1);
+  spec.schedule = parse_schedule(
+      get_str(f, "schedule", spec.delta == 1 ? "lockstep" : "staggered"));
+  spec.delay = parse_delay(get_str(f, "delay", spec.d == 1 ? "unit" : "uniform"));
+  spec.crash_horizon = get_u64(f, "crash-horizon", 64);
+  spec.sears_epsilon = get_double(f, "epsilon", 0.5);
+  spec.ears_shutdown_constant = get_double(f, "shutdown-c", 4.0);
+  spec.tears_a_constant = get_double(f, "tears-a", 1.0);
+  spec.tears_kappa_constant = get_double(f, "tears-kappa", 1.0);
+  spec.lazy_fanout = get_u64(f, "lazy-fanout", 2);
+  spec.max_steps = get_u64(f, "max-steps", 0);
+  return spec;
+}
+
+void print_gossip_csv_header() {
+  std::printf(
+      "alg,n,f,d,delta,seed,completed,steps,msgs,bytes,gathering,majority,"
+      "alive,realized_d,realized_delta\n");
+}
+
+void print_gossip_csv(const GossipSpec& spec, const GossipOutcome& out) {
+  std::printf("%s,%zu,%zu,%llu,%llu,%llu,%d,%llu,%llu,%llu,%d,%d,%zu,%llu,%llu\n",
+              to_string(spec.algorithm), spec.n, spec.f,
+              (unsigned long long)spec.d, (unsigned long long)spec.delta,
+              (unsigned long long)spec.seed, (int)out.completed,
+              (unsigned long long)out.completion_time,
+              (unsigned long long)out.messages, (unsigned long long)out.bytes,
+              (int)out.gathering_ok, (int)out.majority_ok, out.alive,
+              (unsigned long long)out.realized_d,
+              (unsigned long long)out.realized_delta);
+}
+
+int cmd_gossip(const Flags& f) {
+  const GossipSpec spec = spec_from_flags(f);
+  const GossipOutcome out = run_gossip_spec(spec);
+  if (has_flag(f, "csv")) {
+    print_gossip_csv_header();
+    print_gossip_csv(spec, out);
+  } else {
+    std::printf("%s n=%zu f=%zu d=%llu delta=%llu seed=%llu\n",
+                to_string(spec.algorithm), spec.n, spec.f,
+                (unsigned long long)spec.d, (unsigned long long)spec.delta,
+                (unsigned long long)spec.seed);
+    std::printf("  completed   %s (detector at step %llu)\n",
+                out.completed ? "yes" : "NO",
+                (unsigned long long)out.detection_time);
+    std::printf("  time        %llu steps (%.2f per d+delta)\n",
+                (unsigned long long)out.completion_time,
+                (double)out.completion_time / (double)(spec.d + spec.delta));
+    std::printf("  messages    %llu (%.1f per process)\n",
+                (unsigned long long)out.messages,
+                (double)out.messages / (double)spec.n);
+    std::printf("  bytes       %llu (%.1f per message)\n",
+                (unsigned long long)out.bytes,
+                out.messages ? (double)out.bytes / (double)out.messages : 0.0);
+    std::printf("  gathering   %s   majority %s   survivors %zu/%zu\n",
+                out.gathering_ok ? "ok" : "FAILED",
+                out.majority_ok ? "ok" : "FAILED", out.alive, spec.n);
+  }
+  return out.completed ? 0 : 1;
+}
+
+int cmd_sweep(const Flags& f) {
+  const auto ns = parse_list(get_str(f, "n", "64,128,256"));
+  const std::uint64_t fpct = get_u64(f, "fpct", 25);
+  const std::uint64_t seeds = get_u64(f, "seeds", 3);
+  print_gossip_csv_header();
+  for (std::uint64_t n : ns) {
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      Flags g = f;
+      g["n"] = std::to_string(n);
+      g["f"] = std::to_string(n * fpct / 100);
+      g["seed"] = std::to_string(get_u64(f, "seed", 1) + s);
+      const GossipSpec spec = spec_from_flags(g);
+      print_gossip_csv(spec, run_gossip_spec(spec));
+    }
+  }
+  return 0;
+}
+
+int cmd_consensus(const Flags& f) {
+  ConsensusSpec spec;
+  spec.config.n = get_u64(f, "n", 64);
+  spec.config.f = get_u64(f, "f", spec.config.n / 2 - 1);
+  spec.config.exchange = parse_exchange(get_str(f, "exchange", "tears"));
+  spec.config.sears_epsilon = get_double(f, "epsilon", 0.5);
+  spec.config.tears_a_constant = get_double(f, "tears-a", 1.0);
+  spec.config.tears_kappa_constant = get_double(f, "tears-kappa", 1.0);
+  spec.config.seed = get_u64(f, "seed", 1);
+  spec.d = get_u64(f, "d", 1);
+  spec.delta = get_u64(f, "delta", 1);
+  spec.schedule = parse_schedule(
+      get_str(f, "schedule", spec.delta == 1 ? "lockstep" : "staggered"));
+  spec.delay = parse_delay(get_str(f, "delay", spec.d == 1 ? "unit" : "uniform"));
+  spec.seed = spec.config.seed;
+  const std::string inputs = get_str(f, "inputs", "random");
+  spec.inputs = inputs == "zero"   ? InputPattern::kAllZero
+                : inputs == "one"  ? InputPattern::kAllOne
+                : inputs == "half" ? InputPattern::kHalfHalf
+                                   : InputPattern::kRandom;
+  const ConsensusOutcome out = run_consensus_spec(spec);
+  std::printf("CR-%s n=%zu f=%zu inputs=%s\n",
+              to_string(spec.config.exchange), spec.config.n, spec.config.f,
+              inputs.c_str());
+  std::printf("  decided     %s -> %d (phase %u)\n",
+              out.all_decided ? "yes" : "NO", (int)out.decided_value,
+              out.decision_phase);
+  std::printf("  agreement   %s   validity %s   core violations %llu\n",
+              out.agreement ? "ok" : "VIOLATED",
+              out.validity ? "ok" : "VIOLATED",
+              (unsigned long long)out.core_violations);
+  std::printf("  time        %llu steps to decision, quiet at %llu\n",
+              (unsigned long long)out.decision_time,
+              (unsigned long long)out.quiet_time);
+  std::printf("  messages    %llu to decision, %llu total, %llu bytes\n",
+              (unsigned long long)out.messages_at_decision,
+              (unsigned long long)out.total_messages,
+              (unsigned long long)out.total_bytes);
+  return out.all_decided && out.agreement && out.validity ? 0 : 1;
+}
+
+int cmd_lowerbound(const Flags& f) {
+  LowerBoundConfig cfg;
+  cfg.spec = spec_from_flags(f);
+  cfg.spec.ears_shutdown_constant = get_double(f, "shutdown-c", 2.0);
+  cfg.f = get_u64(f, "f", cfg.spec.n / 4);
+  if (!has_flag(f, "n")) cfg.spec.n = 4 * cfg.f;
+  const LowerBoundReport r = run_lower_bound(cfg);
+  std::printf("lower bound vs %s: n=%zu f_eff=%zu -> %s\n",
+              to_string(cfg.spec.algorithm), r.n, r.f_eff,
+              to_string(r.outcome));
+  std::printf("  phase1 end t=%llu, promiscuous %zu/%zu\n",
+              (unsigned long long)r.phase1_end, r.promiscuous_count,
+              r.s2_size);
+  if (r.outcome == LowerBoundCase::kCase1Messages)
+    std::printf("  case1 window messages %llu (f^2 = %zu)\n",
+                (unsigned long long)r.case1_window_messages,
+                r.f_eff * r.f_eff);
+  if (r.outcome == LowerBoundCase::kCase2Time)
+    std::printf("  case2 pair (%u,%u), window to t=%llu, communicated=%d\n",
+                r.pair_p, r.pair_q, (unsigned long long)r.case2_window_end,
+                (int)r.pair_communicated);
+  std::printf("  totals: %llu msgs, completion %llu, gathering %s, "
+              "construction %s\n",
+              (unsigned long long)r.total_messages,
+              (unsigned long long)r.completion_time,
+              r.gathering_ok ? "ok" : "never",
+              r.construction_ok ? "ok" : "failed");
+  return 0;
+}
+
+int cmd_trace(const Flags& f) {
+  GossipSpec spec = spec_from_flags(f);
+  Engine engine = make_gossip_engine(spec);
+  TraceRecorder trace;
+  engine.set_observer(&trace);
+  const Time steps = get_u64(f, "steps", 96);
+  engine.run_until(gossip_quiet, steps);
+  std::printf("%s n=%zu f=%zu — timeline (o step, s send, d deliver, "
+              "b both, X crash):\n\n",
+              to_string(spec.algorithm), spec.n, spec.f);
+  std::printf("%s\n", trace.render_timeline(spec.n, 32,
+                                            (std::size_t)engine.now()).c_str());
+  const Summary lat = trace.latency_summary();
+  std::printf("events: %llu steps, %llu sends, %llu deliveries, %llu crashes\n",
+              (unsigned long long)trace.steps(),
+              (unsigned long long)trace.sends(),
+              (unsigned long long)trace.deliveries(),
+              (unsigned long long)trace.crashes());
+  std::printf("delivery latency: mean %.2f, max %.0f\n", lat.mean, lat.max);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gossiplab <gossip|sweep|consensus|lowerbound|trace> "
+               "[--flag value ...]\n"
+               "see tools/gossiplab.cpp header for examples\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags = parse_flags(argc, argv, 2);
+  if (cmd == "gossip") return cmd_gossip(flags);
+  if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "consensus") return cmd_consensus(flags);
+  if (cmd == "lowerbound") return cmd_lowerbound(flags);
+  if (cmd == "trace") return cmd_trace(flags);
+  usage();
+  return 2;
+}
