@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coa.dir/bench_coa.cpp.o"
+  "CMakeFiles/bench_coa.dir/bench_coa.cpp.o.d"
+  "bench_coa"
+  "bench_coa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

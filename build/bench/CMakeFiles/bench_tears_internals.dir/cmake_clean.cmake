@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tears_internals.dir/bench_tears_internals.cpp.o"
+  "CMakeFiles/bench_tears_internals.dir/bench_tears_internals.cpp.o.d"
+  "bench_tears_internals"
+  "bench_tears_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tears_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tears_internals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/consensus_demo.cpp" "examples/CMakeFiles/consensus_demo.dir/consensus_demo.cpp.o" "gcc" "examples/CMakeFiles/consensus_demo.dir/consensus_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/ag_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/ag_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ag_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/ag_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doall_demo.dir/doall_demo.cpp.o"
+  "CMakeFiles/doall_demo.dir/doall_demo.cpp.o.d"
+  "doall_demo"
+  "doall_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doall_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_apps.dir/doall.cpp.o"
+  "CMakeFiles/ag_apps.dir/doall.cpp.o.d"
+  "libag_apps.a"
+  "libag_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_common.dir/bitset.cpp.o"
+  "CMakeFiles/ag_common.dir/bitset.cpp.o.d"
+  "CMakeFiles/ag_common.dir/rng.cpp.o"
+  "CMakeFiles/ag_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ag_common.dir/stats.cpp.o"
+  "CMakeFiles/ag_common.dir/stats.cpp.o.d"
+  "libag_common.a"
+  "libag_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

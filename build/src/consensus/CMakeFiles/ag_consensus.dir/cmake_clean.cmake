@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_consensus.dir/canetti_rabin.cpp.o"
+  "CMakeFiles/ag_consensus.dir/canetti_rabin.cpp.o.d"
+  "CMakeFiles/ag_consensus.dir/get_core.cpp.o"
+  "CMakeFiles/ag_consensus.dir/get_core.cpp.o.d"
+  "libag_consensus.a"
+  "libag_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gossip/completion.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/completion.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/completion.cpp.o.d"
+  "/root/repo/src/gossip/epidemic.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/epidemic.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/epidemic.cpp.o.d"
+  "/root/repo/src/gossip/harness.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/harness.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/harness.cpp.o.d"
+  "/root/repo/src/gossip/lazy.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/lazy.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/lazy.cpp.o.d"
+  "/root/repo/src/gossip/pushpull.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/pushpull.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/pushpull.cpp.o.d"
+  "/root/repo/src/gossip/roundrobin.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/roundrobin.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/roundrobin.cpp.o.d"
+  "/root/repo/src/gossip/sync_gossip.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/sync_gossip.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/sync_gossip.cpp.o.d"
+  "/root/repo/src/gossip/tears.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/tears.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/tears.cpp.o.d"
+  "/root/repo/src/gossip/trivial.cpp" "src/gossip/CMakeFiles/ag_gossip.dir/trivial.cpp.o" "gcc" "src/gossip/CMakeFiles/ag_gossip.dir/trivial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_gossip.dir/completion.cpp.o"
+  "CMakeFiles/ag_gossip.dir/completion.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/epidemic.cpp.o"
+  "CMakeFiles/ag_gossip.dir/epidemic.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/harness.cpp.o"
+  "CMakeFiles/ag_gossip.dir/harness.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/lazy.cpp.o"
+  "CMakeFiles/ag_gossip.dir/lazy.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/pushpull.cpp.o"
+  "CMakeFiles/ag_gossip.dir/pushpull.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/roundrobin.cpp.o"
+  "CMakeFiles/ag_gossip.dir/roundrobin.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/sync_gossip.cpp.o"
+  "CMakeFiles/ag_gossip.dir/sync_gossip.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/tears.cpp.o"
+  "CMakeFiles/ag_gossip.dir/tears.cpp.o.d"
+  "CMakeFiles/ag_gossip.dir/trivial.cpp.o"
+  "CMakeFiles/ag_gossip.dir/trivial.cpp.o.d"
+  "libag_gossip.a"
+  "libag_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_lowerbound.dir/adaptive.cpp.o"
+  "CMakeFiles/ag_lowerbound.dir/adaptive.cpp.o.d"
+  "CMakeFiles/ag_lowerbound.dir/probe.cpp.o"
+  "CMakeFiles/ag_lowerbound.dir/probe.cpp.o.d"
+  "libag_lowerbound.a"
+  "libag_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

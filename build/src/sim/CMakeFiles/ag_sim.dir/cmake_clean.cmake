@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_sim.dir/engine.cpp.o"
+  "CMakeFiles/ag_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ag_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ag_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ag_sim.dir/oblivious.cpp.o"
+  "CMakeFiles/ag_sim.dir/oblivious.cpp.o.d"
+  "CMakeFiles/ag_sim.dir/trace.cpp.o"
+  "CMakeFiles/ag_sim.dir/trace.cpp.o.d"
+  "libag_sim.a"
+  "libag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

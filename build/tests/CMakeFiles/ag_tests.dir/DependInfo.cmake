@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitcomplexity.cpp" "tests/CMakeFiles/ag_tests.dir/test_bitcomplexity.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_bitcomplexity.cpp.o.d"
+  "/root/repo/tests/test_bitset.cpp" "tests/CMakeFiles/ag_tests.dir/test_bitset.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_bitset.cpp.o.d"
+  "/root/repo/tests/test_consensus.cpp" "tests/CMakeFiles/ag_tests.dir/test_consensus.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_consensus.cpp.o.d"
+  "/root/repo/tests/test_consensus_internals.cpp" "tests/CMakeFiles/ag_tests.dir/test_consensus_internals.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_consensus_internals.cpp.o.d"
+  "/root/repo/tests/test_doall.cpp" "tests/CMakeFiles/ag_tests.dir/test_doall.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_doall.cpp.o.d"
+  "/root/repo/tests/test_ears.cpp" "tests/CMakeFiles/ag_tests.dir/test_ears.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_ears.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/ag_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_getcore.cpp" "tests/CMakeFiles/ag_tests.dir/test_getcore.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_getcore.cpp.o.d"
+  "/root/repo/tests/test_gossip_properties.cpp" "tests/CMakeFiles/ag_tests.dir/test_gossip_properties.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_gossip_properties.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/ag_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hostile_patterns.cpp" "tests/CMakeFiles/ag_tests.dir/test_hostile_patterns.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_hostile_patterns.cpp.o.d"
+  "/root/repo/tests/test_lazy.cpp" "tests/CMakeFiles/ag_tests.dir/test_lazy.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_lazy.cpp.o.d"
+  "/root/repo/tests/test_lowerbound.cpp" "tests/CMakeFiles/ag_tests.dir/test_lowerbound.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_lowerbound.cpp.o.d"
+  "/root/repo/tests/test_oblivious.cpp" "tests/CMakeFiles/ag_tests.dir/test_oblivious.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_oblivious.cpp.o.d"
+  "/root/repo/tests/test_pushpull.cpp" "tests/CMakeFiles/ag_tests.dir/test_pushpull.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_pushpull.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/ag_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_roundrobin.cpp" "tests/CMakeFiles/ag_tests.dir/test_roundrobin.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_roundrobin.cpp.o.d"
+  "/root/repo/tests/test_sears.cpp" "tests/CMakeFiles/ag_tests.dir/test_sears.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_sears.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ag_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_sync_gossip.cpp" "tests/CMakeFiles/ag_tests.dir/test_sync_gossip.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_sync_gossip.cpp.o.d"
+  "/root/repo/tests/test_tears.cpp" "tests/CMakeFiles/ag_tests.dir/test_tears.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_tears.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ag_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/ag_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/ag_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ag_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/ag_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossiplab.dir/gossiplab.cpp.o"
+  "CMakeFiles/gossiplab.dir/gossiplab.cpp.o.d"
+  "gossiplab"
+  "gossiplab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossiplab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
