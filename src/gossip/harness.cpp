@@ -149,10 +149,36 @@ Engine make_gossip_engine(const GossipSpec& spec) {
 }
 
 GossipOutcome run_gossip_spec(const GossipSpec& spec) {
+  if (spec.audit) {
+    AuditedGossipOutcome audited = run_audited_gossip_spec(spec);
+    if (!audited.audit.ok())
+      throw ModelViolation("audited gossip run violated the model contract: " +
+                           audited.audit.summary());
+    return audited.outcome;
+  }
   Engine engine = make_gossip_engine(spec);
   const Time budget =
       spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
   return run_gossip(engine, budget);
+}
+
+AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec) {
+  Engine engine = make_gossip_engine(spec);
+  AuditConfig audit_cfg;
+  audit_cfg.n = spec.n;
+  audit_cfg.d = spec.d;
+  audit_cfg.delta = spec.delta;
+  audit_cfg.max_crashes = spec.f;
+  InvariantAuditor auditor(audit_cfg);
+  engine.set_observer(&auditor);
+  const Time budget =
+      spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
+  AuditedGossipOutcome result;
+  result.outcome = run_gossip(engine, budget);
+  auditor.finalize(engine.now());
+  auditor.cross_check(engine.metrics());
+  result.audit = auditor.report();
+  return result;
 }
 
 }  // namespace asyncgossip

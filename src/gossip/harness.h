@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gossip/completion.h"
+#include "sim/audit.h"
 #include "sim/engine.h"
 #include "sim/oblivious.h"
 
@@ -59,6 +60,12 @@ struct GossipSpec {
 
   /// Step budget for the run; 0 = an automatic generous bound.
   Time max_steps = 0;
+
+  /// If true, an InvariantAuditor (sim/audit.h) observes the run and
+  /// independently re-checks the full (d, delta, f) model contract;
+  /// run_gossip_spec throws ModelViolation if it finds anything. Use
+  /// run_audited_gossip_spec to inspect the report instead of throwing.
+  bool audit = false;
 };
 
 /// Builds the process vector for a spec (exposed so consensus and the
@@ -69,8 +76,21 @@ std::vector<std::unique_ptr<Process>> make_gossip_processes(
 /// Builds the engine (processes + oblivious adversary per spec).
 Engine make_gossip_engine(const GossipSpec& spec);
 
-/// Runs the spec to quiescence and reports the outcome.
+/// Runs the spec to quiescence and reports the outcome. With spec.audit
+/// set, the run is audited and a non-empty ViolationReport throws
+/// ModelViolation carrying the report summary.
 GossipOutcome run_gossip_spec(const GossipSpec& spec);
+
+/// A gossip outcome together with the audit findings of the run.
+struct AuditedGossipOutcome {
+  GossipOutcome outcome;
+  ViolationReport audit;
+};
+
+/// Runs the spec with an InvariantAuditor attached (regardless of
+/// spec.audit) and returns the accumulated report for inspection — the
+/// auditor never throws, so deliberately hostile runs can be examined.
+AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec);
 
 /// Default step budget used when spec.max_steps == 0.
 Time default_step_budget(const GossipSpec& spec);

@@ -1,0 +1,390 @@
+#include "sim/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+#include "sim/metrics.h"
+
+namespace asyncgossip {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kLateDelivery:
+      return "late-delivery";
+    case ViolationKind::kEarlyDelivery:
+      return "early-delivery";
+    case ViolationKind::kBadDeliverAfter:
+      return "bad-deliver-after";
+    case ViolationKind::kDeltaViolation:
+      return "delta-violation";
+    case ViolationKind::kDoubleStep:
+      return "double-step";
+    case ViolationKind::kCrashBudgetExceeded:
+      return "crash-budget-exceeded";
+    case ViolationKind::kDuplicateCrash:
+      return "duplicate-crash";
+    case ViolationKind::kPostCrashStep:
+      return "post-crash-step";
+    case ViolationKind::kPostCrashSend:
+      return "post-crash-send";
+    case ViolationKind::kPostCrashDelivery:
+      return "post-crash-delivery";
+    case ViolationKind::kFifoInversion:
+      return "fifo-inversion";
+    case ViolationKind::kMessageIdReuse:
+      return "message-id-reuse";
+    case ViolationKind::kUnknownMessage:
+      return "unknown-message";
+    case ViolationKind::kEventOutsideStep:
+      return "event-outside-step";
+    case ViolationKind::kTimeRegression:
+      return "time-regression";
+    case ViolationKind::kOutOfRangeProcess:
+      return "out-of-range-process";
+    case ViolationKind::kMetricsMismatch:
+      return "metrics-mismatch";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ViolationReport
+// ---------------------------------------------------------------------------
+
+std::uint64_t ViolationReport::count(ViolationKind kind) const {
+  auto it = counts_.find(static_cast<std::uint8_t>(kind));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void ViolationReport::add(Violation v) {
+  ++counts_[static_cast<std::uint8_t>(v.kind)];
+  ++total_;
+  if (violations_.size() < max_recorded_) violations_.push_back(std::move(v));
+}
+
+void ViolationReport::clear() {
+  violations_.clear();
+  counts_.clear();
+  total_ = 0;
+}
+
+std::string ViolationReport::summary() const {
+  if (ok()) return "";
+  std::ostringstream os;
+  os << total_ << " model violation(s):\n";
+  for (const Violation& v : violations_) {
+    os << "  [" << to_string(v.kind) << "]";
+    if (v.time != kTimeMax) os << " t=" << v.time;
+    if (v.process != kNoProcess) os << " p=" << v.process;
+    if (v.message != 0) os << " msg=" << v.message;
+    os << " — " << v.detail << '\n';
+  }
+  if (total_ > violations_.size())
+    os << "  ... and " << (total_ - violations_.size()) << " more\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// InvariantAuditor
+// ---------------------------------------------------------------------------
+
+InvariantAuditor::InvariantAuditor(const AuditConfig& config)
+    : config_(config),
+      report_(config.max_recorded),
+      crashed_(config.n, false),
+      stepped_once_(config.n, false),
+      last_step_(config.n, 0),
+      prev_step_(config.n, kTimeMax),
+      per_process_sent_(config.n, 0) {
+  if (config_.n == 0) throw ApiError("InvariantAuditor needs n >= 1");
+  if (config_.d < 1 || config_.delta < 1)
+    throw ApiError("audit bounds d and delta must be >= 1");
+}
+
+void InvariantAuditor::add(ViolationKind kind, Time time, ProcessId process,
+                           MessageId message, std::string detail) {
+  report_.add(Violation{kind, time, process, message, std::move(detail)});
+}
+
+bool InvariantAuditor::check_clock(Time now) {
+  if (any_event_ && now < clock_) {
+    std::ostringstream os;
+    os << "event at t=" << now << " after an event at t=" << clock_;
+    add(ViolationKind::kTimeRegression, now, kNoProcess, 0, os.str());
+    return false;  // keep clock_ at the high-water mark
+  }
+  any_event_ = true;
+  clock_ = std::max(clock_, now);
+  return true;
+}
+
+void InvariantAuditor::on_step(Time now, ProcessId p) {
+  if (!check_clock(now)) return;
+  if (p >= config_.n) {
+    add(ViolationKind::kOutOfRangeProcess, now, p, 0, "step by process >= n");
+    return;
+  }
+  if (crashed_[p]) {
+    add(ViolationKind::kPostCrashStep, now, p, 0,
+        "crashed process took a local step");
+    return;  // a crashed process has no scheduling obligations to audit
+  }
+
+  if (stepped_once_[p] && last_step_[p] == now) {
+    add(ViolationKind::kDoubleStep, now, p, 0,
+        "process scheduled twice in one global step");
+    return;  // keep the first step's bookkeeping
+  }
+
+  // The delta contract: first step by delta - 1, then gaps of at most delta.
+  if (!stepped_once_[p]) {
+    if (now > config_.delta - 1) {
+      std::ostringstream os;
+      os << "first step at t=" << now << " but delta=" << config_.delta
+         << " requires one by t=" << (config_.delta - 1);
+      add(ViolationKind::kDeltaViolation, now, p, 0, os.str());
+    }
+  } else if (now - last_step_[p] > config_.delta) {
+    std::ostringstream os;
+    os << "scheduling gap " << (now - last_step_[p]) << " exceeds delta="
+       << config_.delta << " (previous step at t=" << last_step_[p] << ")";
+    add(ViolationKind::kDeltaViolation, now, p, 0, os.str());
+  }
+
+  // Mirror of Metrics::record_gap for the realized-delta cross-check.
+  const Time gap = stepped_once_[p] ? now - last_step_[p] : now + 1;
+  realized_delta_ = std::max(realized_delta_, gap);
+  ++local_steps_total_;
+
+  prev_step_[p] = stepped_once_[p] ? last_step_[p] : kTimeMax;
+  last_step_[p] = now;
+  stepped_once_[p] = true;
+}
+
+void InvariantAuditor::on_send(const Envelope& env) {
+  const Time now = env.send_time;
+  if (!check_clock(now)) return;
+  if (env.from >= config_.n || env.to >= config_.n) {
+    add(ViolationKind::kOutOfRangeProcess, now,
+        env.from >= config_.n ? env.from : env.to, env.id,
+        "send endpoint >= n");
+    return;
+  }
+  if (crashed_[env.from])
+    add(ViolationKind::kPostCrashSend, now, env.from, env.id,
+        "crashed process sent a message");
+  if (!stepped_once_[env.from] || last_step_[env.from] != now)
+    add(ViolationKind::kEventOutsideStep, now, env.from, env.id,
+        "send not bracketed by a local step of the sender");
+
+  // Monotone ids imply per-execution uniqueness.
+  if (any_id_seen_ && env.id <= last_id_) {
+    std::ostringstream os;
+    os << "message id " << env.id << " after id " << last_id_;
+    add(ViolationKind::kMessageIdReuse, now, env.from, env.id, os.str());
+  } else {
+    last_id_ = env.id;
+    any_id_seen_ = true;
+  }
+  if (!in_flight_.insert(env.id).second)
+    add(ViolationKind::kMessageIdReuse, now, env.from, env.id,
+        "message id already in flight");
+
+  if (env.deliver_after < env.send_time + 1 ||
+      env.deliver_after > env.send_time + config_.d) {
+    std::ostringstream os;
+    os << "deliver_after=" << env.deliver_after << " outside [send+1, send+d]"
+       << " = [" << (env.send_time + 1) << ", " << (env.send_time + config_.d)
+       << "]";
+    add(ViolationKind::kBadDeliverAfter, now, env.from, env.id, os.str());
+  }
+
+  pair_queue_[pair_key(env.from, env.to)].push_back(
+      PendingMessage{env.id, env.deliver_after, false});
+
+  ++sends_total_;
+  bytes_total_ += env.payload ? env.payload->byte_size() : 0;
+  ++per_process_sent_[env.from];
+  last_send_time_ = now;
+  any_send_ = true;
+}
+
+void InvariantAuditor::on_delivery(const Envelope& env, Time now) {
+  if (!check_clock(now)) return;
+  if (env.from >= config_.n || env.to >= config_.n) {
+    add(ViolationKind::kOutOfRangeProcess, now,
+        env.to >= config_.n ? env.to : env.from, env.id,
+        "delivery endpoint >= n");
+    return;
+  }
+  if (crashed_[env.to]) {
+    add(ViolationKind::kPostCrashDelivery, now, env.to, env.id,
+        "message delivered to a crashed process");
+    return;
+  }
+  if (!stepped_once_[env.to] || last_step_[env.to] != now)
+    add(ViolationKind::kEventOutsideStep, now, env.to, env.id,
+        "delivery not bracketed by a local step of the receiver");
+
+  if (in_flight_.erase(env.id) == 0)
+    add(ViolationKind::kUnknownMessage, now, env.to, env.id,
+        "delivery of a message never sent (or delivered twice)");
+
+  if (now <= env.send_time) {
+    std::ostringstream os;
+    os << "delivered at t=" << now << " but sent at t=" << env.send_time
+       << " (same-step relay or worse)";
+    add(ViolationKind::kEarlyDelivery, now, env.to, env.id, os.str());
+  } else if (now < env.deliver_after) {
+    std::ostringstream os;
+    os << "delivered at t=" << now << " before deliver_after="
+       << env.deliver_after;
+    add(ViolationKind::kEarlyDelivery, now, env.to, env.id, os.str());
+  }
+  if (env.deliver_after < env.send_time + 1 ||
+      env.deliver_after > env.send_time + config_.d) {
+    std::ostringstream os;
+    os << "deliver_after=" << env.deliver_after << " outside [send+1, send+d]"
+       << " = [" << (env.send_time + 1) << ", " << (env.send_time + config_.d)
+       << "]";
+    add(ViolationKind::kBadDeliverAfter, now, env.to, env.id, os.str());
+  }
+
+  // The receiver's most recent step strictly before this delivery. The
+  // on_step for the delivering step has already been observed, so when the
+  // stream is well-formed this is prev_step_; fall back to last_step_ for
+  // streams where the delivery arrived outside a step.
+  Time eff_prev = kTimeMax;
+  if (stepped_once_[env.to])
+    eff_prev = last_step_[env.to] == now ? prev_step_[env.to]
+                                         : last_step_[env.to];
+
+  // The d contract (force-delivery): had the receiver stepped at or after
+  // deliver_after, the message would have been handed over then.
+  if (eff_prev != kTimeMax && eff_prev >= env.deliver_after) {
+    std::ostringstream os;
+    os << "receiver stepped at t=" << eff_prev
+       << " with the message deliverable since t=" << env.deliver_after
+       << " but received it only at t=" << now;
+    add(ViolationKind::kLateDelivery, now, env.to, env.id, os.str());
+  }
+
+  // Per-(sender, receiver) FIFO: an older same-pair message that was
+  // already deliverable must not be overtaken.
+  auto it = pair_queue_.find(pair_key(env.from, env.to));
+  if (it != pair_queue_.end()) {
+    auto& queue = it->second;
+    for (auto& pending : queue) {
+      if (pending.id >= env.id) break;  // queue is sorted by send order
+      if (!pending.flagged && pending.deliver_after <= now) {
+        std::ostringstream os;
+        os << "message " << env.id << " overtook older message " << pending.id
+           << " (deliverable since t=" << pending.deliver_after
+           << ") on the same (sender, receiver) channel";
+        add(ViolationKind::kFifoInversion, now, env.to, env.id, os.str());
+        pending.flagged = true;
+      }
+    }
+    for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+      if (qit->id == env.id) {
+        queue.erase(qit);
+        break;
+      }
+    }
+    if (queue.empty()) pair_queue_.erase(it);
+  }
+
+  // Mirror of Metrics::record_delivery for the realized-d cross-check.
+  ++deliveries_total_;
+  if (now > env.send_time) {
+    Time witnessed = 1;
+    if (eff_prev != kTimeMax && eff_prev > env.send_time)
+      witnessed = eff_prev - env.send_time + 1;
+    witnessed = std::min(witnessed, now - env.send_time);
+    realized_d_ = std::max(realized_d_, witnessed);
+  }
+}
+
+void InvariantAuditor::on_crash(Time now, ProcessId p) {
+  if (!check_clock(now)) return;
+  if (p >= config_.n) {
+    add(ViolationKind::kOutOfRangeProcess, now, p, 0, "crash of process >= n");
+    return;
+  }
+  if (crashed_[p]) {
+    add(ViolationKind::kDuplicateCrash, now, p, 0,
+        "process crashed a second time");
+    return;
+  }
+  if (crash_count_ + 1 > config_.max_crashes) {
+    std::ostringstream os;
+    os << "crash #" << (crash_count_ + 1) << " exceeds budget f="
+       << config_.max_crashes;
+    add(ViolationKind::kCrashBudgetExceeded, now, p, 0, os.str());
+  }
+  crashed_[p] = true;
+  ++crash_count_;
+}
+
+void InvariantAuditor::finalize(Time end_time) {
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    if (crashed_[p]) continue;
+    if (stepped_once_[p]) {
+      if (end_time > last_step_[p] + config_.delta) {
+        std::ostringstream os;
+        os << "live process starved: last step at t=" << last_step_[p]
+           << ", execution ran to t=" << end_time << " with delta="
+           << config_.delta;
+        add(ViolationKind::kDeltaViolation, kTimeMax, p, 0, os.str());
+      }
+    } else if (end_time >= config_.delta) {
+      std::ostringstream os;
+      os << "live process never scheduled in " << end_time
+         << " steps with delta=" << config_.delta;
+      add(ViolationKind::kDeltaViolation, kTimeMax, p, 0, os.str());
+    }
+  }
+}
+
+void InvariantAuditor::cross_check(const Metrics& metrics) {
+  const auto mismatch = [&](const char* what, std::uint64_t engine_value,
+                            std::uint64_t audit_value) {
+    std::ostringstream os;
+    os << what << ": engine reports " << engine_value
+       << ", audit recomputed " << audit_value;
+    add(ViolationKind::kMetricsMismatch, kTimeMax, kNoProcess, 0, os.str());
+  };
+  if (metrics.messages_sent() != sends_total_)
+    mismatch("messages_sent", metrics.messages_sent(), sends_total_);
+  if (metrics.bytes_sent() != bytes_total_)
+    mismatch("bytes_sent", metrics.bytes_sent(), bytes_total_);
+  if (metrics.messages_delivered() != deliveries_total_)
+    mismatch("messages_delivered", metrics.messages_delivered(),
+             deliveries_total_);
+  if (metrics.local_steps() != local_steps_total_)
+    mismatch("local_steps", metrics.local_steps(), local_steps_total_);
+  if (metrics.crashes() != crash_count_)
+    mismatch("crashes", metrics.crashes(), crash_count_);
+  if (metrics.any_send() != any_send_)
+    mismatch("any_send", metrics.any_send() ? 1 : 0, any_send_ ? 1 : 0);
+  if (any_send_ && metrics.last_send_time() != last_send_time_)
+    mismatch("last_send_time", metrics.last_send_time(), last_send_time_);
+  if (metrics.realized_d() != realized_d_)
+    mismatch("realized_d", metrics.realized_d(), realized_d_);
+  if (metrics.realized_delta() != realized_delta_)
+    mismatch("realized_delta", metrics.realized_delta(), realized_delta_);
+  if (metrics.per_process_sent() != per_process_sent_) {
+    for (ProcessId p = 0; p < config_.n; ++p) {
+      if (metrics.messages_sent_by(p) != per_process_sent_[p]) {
+        std::ostringstream os;
+        os << "per-process sends of p=" << p << ": engine reports "
+           << metrics.messages_sent_by(p) << ", audit recomputed "
+           << per_process_sent_[p];
+        add(ViolationKind::kMetricsMismatch, kTimeMax, p, 0, os.str());
+      }
+    }
+  }
+}
+
+}  // namespace asyncgossip

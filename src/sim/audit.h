@@ -1,0 +1,211 @@
+// Independent audit of the (d, delta, f) model contract.
+//
+// The engine *enforces* the partially-synchronous model (engine.h); this
+// module *checks* it, from the outside, with none of the engine's own
+// bookkeeping. InvariantAuditor is a passive EngineObserver that re-derives
+// the full contract from the event stream alone — delivery bounds,
+// scheduling gaps, the crash budget, post-crash silence, per-(sender,
+// receiver) FIFO order, message-id uniqueness — and recomputes every
+// Metrics counter for cross-checking. Violations are *accumulated* into a
+// structured ViolationReport rather than asserted, so tests can inspect
+// exactly what went wrong and tools/tracecheck can lint recorded traces
+// offline with the same checker.
+//
+// The auditor is deliberately redundant with the engine: the point is that
+// two independent implementations of the model definition must agree on
+// every execution, which turns "the engine enforces the model" into a
+// mechanically checked property rather than a comment.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/observer.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+class Metrics;
+
+/// The invariant classes the auditor distinguishes. Each maps to a clause
+/// of the paper's system model (see docs/MODEL.md, "The audited
+/// invariants").
+enum class ViolationKind : std::uint8_t {
+  /// A delivery bound was breached: the receiver took a local step at or
+  /// after the message became deliverable without receiving it.
+  kLateDelivery,
+  /// A message was delivered before it legally could be: at or before its
+  /// send time (same-step relay) or before its deliver_after stamp.
+  kEarlyDelivery,
+  /// A message's deliver_after stamp lies outside [send_time + 1,
+  /// send_time + d]: the adversary's delay escaped the engine's clamp.
+  kBadDeliverAfter,
+  /// A live process went more than delta steps without being scheduled
+  /// (or was first scheduled later than step delta - 1).
+  kDeltaViolation,
+  /// A process took two local steps in the same global time step.
+  kDoubleStep,
+  /// More than f = max_crashes processes crashed.
+  kCrashBudgetExceeded,
+  /// A crash event targeted an already-crashed process.
+  kDuplicateCrash,
+  /// A crashed process took a local step.
+  kPostCrashStep,
+  /// A crashed process sent a message.
+  kPostCrashSend,
+  /// A message was delivered to a crashed process.
+  kPostCrashDelivery,
+  /// Per-(sender, receiver) FIFO order broken: a message overtook an
+  /// older same-pair message that was already deliverable.
+  kFifoInversion,
+  /// A message id was reused or ids went non-monotonic.
+  kMessageIdReuse,
+  /// A delivery for a message that was never sent (or already delivered).
+  kUnknownMessage,
+  /// A send or delivery not bracketed by a local step of the acting
+  /// process at the same time step.
+  kEventOutsideStep,
+  /// An event time stamp went backwards.
+  kTimeRegression,
+  /// An event referenced a process id outside [0, n).
+  kOutOfRangeProcess,
+  /// The engine's Metrics counters disagree with the auditor's
+  /// independently recomputed totals.
+  kMetricsMismatch,
+};
+
+const char* to_string(ViolationKind kind);
+
+/// One observed contract breach, with enough context to reproduce it.
+struct Violation {
+  ViolationKind kind;
+  /// Global time of the offending event (kTimeMax for finalize-time
+  /// findings that are not tied to a single event).
+  Time time = 0;
+  /// The process the violation is attributed to (receiver for delivery
+  /// violations), kNoProcess when not applicable.
+  ProcessId process = kNoProcess;
+  /// The message involved, 0 when not applicable.
+  MessageId message = 0;
+  /// Human-readable description with the numbers that matter.
+  std::string detail;
+};
+
+/// Accumulated audit findings. Records the first `max_recorded` violations
+/// verbatim and keeps exact per-kind counts beyond that.
+class ViolationReport {
+ public:
+  explicit ViolationReport(std::size_t max_recorded = 64)
+      : max_recorded_(max_recorded) {}
+
+  bool ok() const { return total_ == 0; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(ViolationKind kind) const;
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// One line per recorded violation plus per-kind totals; "" when ok().
+  std::string summary() const;
+
+  void add(Violation v);
+  void clear();
+
+ private:
+  std::size_t max_recorded_;
+  std::vector<Violation> violations_;
+  std::unordered_map<std::uint8_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Model spec the auditor checks against (mirrors EngineConfig plus n).
+struct AuditConfig {
+  std::size_t n = 0;
+  Time d = 1;
+  Time delta = 1;
+  std::size_t max_crashes = 0;
+  /// Cap on verbatim-recorded violations (counts stay exact).
+  std::size_t max_recorded = 64;
+};
+
+class InvariantAuditor final : public EngineObserver {
+ public:
+  explicit InvariantAuditor(const AuditConfig& config);
+
+  // EngineObserver — also callable directly on a replayed event stream
+  // (tools/tracecheck) or a fabricated one (tests).
+  void on_step(Time now, ProcessId p) override;
+  void on_send(const Envelope& env) override;
+  void on_delivery(const Envelope& env, Time now) override;
+  void on_crash(Time now, ProcessId p) override;
+
+  /// End-of-execution checks that cannot be attached to any single event:
+  /// delta starvation at the horizon. `end_time` is the engine's now()
+  /// after the run, i.e. steps 0 .. end_time - 1 were executed.
+  void finalize(Time end_time);
+
+  /// Compares the engine's Metrics against the auditor's recomputed
+  /// totals; any disagreement is reported as kMetricsMismatch.
+  void cross_check(const Metrics& metrics);
+
+  const ViolationReport& report() const { return report_; }
+  const AuditConfig& config() const { return config_; }
+
+  // Recomputed totals (exposed for tests).
+  std::uint64_t observed_steps() const { return local_steps_total_; }
+  std::uint64_t observed_sends() const { return sends_total_; }
+  std::uint64_t observed_deliveries() const { return deliveries_total_; }
+  std::uint64_t observed_crashes() const { return crash_count_; }
+
+ private:
+  struct PendingMessage {
+    MessageId id;
+    Time deliver_after;
+    bool flagged;  // already reported as overtaken; don't re-flag
+  };
+
+  void add(ViolationKind kind, Time time, ProcessId process, MessageId message,
+           std::string detail);
+  /// Advances the audit clock; false (after reporting kTimeRegression)
+  /// means the event is out of order and must not be processed further —
+  /// time arithmetic on it would wrap.
+  bool check_clock(Time now);
+  static std::uint64_t pair_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  AuditConfig config_;
+  ViolationReport report_;
+
+  // Per-process scheduling state.
+  std::vector<bool> crashed_;
+  std::vector<bool> stepped_once_;
+  std::vector<Time> last_step_;  // valid iff stepped_once_
+  std::vector<Time> prev_step_;  // the step before last_step_, or kTimeMax
+
+  // Message tracking.
+  bool any_id_seen_ = false;
+  MessageId last_id_ = 0;
+  std::unordered_set<MessageId> in_flight_;
+  std::unordered_map<std::uint64_t, std::deque<PendingMessage>> pair_queue_;
+
+  // Recomputed Metrics mirror.
+  std::uint64_t local_steps_total_ = 0;
+  std::uint64_t sends_total_ = 0;
+  std::uint64_t deliveries_total_ = 0;
+  std::uint64_t bytes_total_ = 0;
+  std::uint64_t crash_count_ = 0;
+  std::vector<std::uint64_t> per_process_sent_;
+  Time last_send_time_ = 0;
+  bool any_send_ = false;
+  Time realized_d_ = 0;
+  Time realized_delta_ = 0;
+
+  Time clock_ = 0;  // largest event time seen
+  bool any_event_ = false;
+};
+
+}  // namespace asyncgossip

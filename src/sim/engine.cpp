@@ -103,7 +103,7 @@ void Engine::apply_crashes(const std::vector<ProcessId>& crash_list) {
 }
 
 std::vector<ProcessId> Engine::effective_schedule(
-    std::vector<ProcessId> proposed) {
+    const std::vector<ProcessId>& proposed) {
   std::vector<bool> want(processes_.size(), false);
   for (ProcessId p : proposed) {
     AG_ASSERT_MSG(p < processes_.size(), "scheduled process out of range");
@@ -177,7 +177,7 @@ void Engine::advance_one_step() {
 
   apply_crashes(decision.crash);
   const std::vector<ProcessId> schedule =
-      effective_schedule(std::move(decision.schedule));
+      effective_schedule(decision.schedule);
 
   for (ProcessId p : schedule) {
     const Time gap =

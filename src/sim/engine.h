@@ -91,7 +91,8 @@ class Engine {
  private:
   void advance_one_step();
   void apply_crashes(const std::vector<ProcessId>& crash_list);
-  std::vector<ProcessId> effective_schedule(std::vector<ProcessId> proposed);
+  std::vector<ProcessId> effective_schedule(
+      const std::vector<ProcessId>& proposed);
   std::vector<Envelope> collect_deliveries(ProcessId p);
   void dispatch_sends(ProcessId from, std::vector<StepContext::Outgoing>&& out);
   void hash_mix(std::uint64_t v);

@@ -1,7 +1,9 @@
 #include "sim/trace.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+#include <ostream>
 
 namespace asyncgossip {
 
@@ -15,25 +17,106 @@ void TraceRecorder::push(Event e) {
 
 void TraceRecorder::on_step(Time now, ProcessId p) {
   ++steps_;
-  push(Event{EventKind::kStep, now, p, kNoProcess, 0, 0});
+  push(Event{EventKind::kStep, now, p, kNoProcess, 0, 0, 0});
 }
 
 void TraceRecorder::on_send(const Envelope& env) {
   ++sends_;
   push(Event{EventKind::kSend, env.send_time, env.from, env.to, env.id,
-             env.send_time});
+             env.send_time, env.deliver_after});
 }
 
 void TraceRecorder::on_delivery(const Envelope& env, Time now) {
   ++deliveries_;
   latencies_.push_back(static_cast<double>(now - env.send_time));
   push(Event{EventKind::kDelivery, now, env.to, env.from, env.id,
-             env.send_time});
+             env.send_time, env.deliver_after});
 }
 
 void TraceRecorder::on_crash(Time now, ProcessId p) {
   ++crashes_;
-  push(Event{EventKind::kCrash, now, p, kNoProcess, 0, 0});
+  push(Event{EventKind::kCrash, now, p, kNoProcess, 0, 0, 0});
+}
+
+std::string TraceRecorder::format_event(const Event& e) {
+  char buf[160];
+  switch (e.kind) {
+    case EventKind::kStep:
+      std::snprintf(buf, sizeof(buf), "step %" PRIu64 " %" PRIu32, e.time,
+                    e.process);
+      break;
+    case EventKind::kSend:
+      std::snprintf(buf, sizeof(buf),
+                    "send %" PRIu64 " %" PRIu64 " %" PRIu32 " %" PRIu32
+                    " %" PRIu64,
+                    e.time, e.message, e.process, e.peer, e.deliver_after);
+      break;
+    case EventKind::kDelivery:
+      std::snprintf(buf, sizeof(buf),
+                    "deliver %" PRIu64 " %" PRIu64 " %" PRIu32 " %" PRIu32
+                    " %" PRIu64 " %" PRIu64,
+                    e.time, e.message, e.peer, e.process, e.send_time,
+                    e.deliver_after);
+      break;
+    case EventKind::kCrash:
+      std::snprintf(buf, sizeof(buf), "crash %" PRIu64 " %" PRIu32, e.time,
+                    e.process);
+      break;
+  }
+  return buf;
+}
+
+TraceRecorder::ParseResult TraceRecorder::parse_line(const std::string& line,
+                                                     Event* out) {
+  const std::size_t start = line.find_first_not_of(" \t\r");
+  if (start == std::string::npos) return ParseResult::kSkip;
+  if (line[start] == '#') return ParseResult::kSkip;
+  if (line.compare(start, 5, "model") == 0) return ParseResult::kSkip;
+
+  const char* s = line.c_str() + start;
+  Event e;
+  std::uint64_t t = 0, id = 0, from = 0, to = 0, sent = 0, da = 0;
+  char tail = '\0';
+  if (std::sscanf(s, "step %" SCNu64 " %" SCNu64 " %c", &t, &from, &tail) ==
+      2) {
+    e = Event{EventKind::kStep, t, static_cast<ProcessId>(from), kNoProcess, 0,
+              0, 0};
+  } else if (std::sscanf(s,
+                         "send %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                         " %" SCNu64 " %c",
+                         &t, &id, &from, &to, &da, &tail) == 5) {
+    e = Event{EventKind::kSend, t, static_cast<ProcessId>(from),
+              static_cast<ProcessId>(to), id, t, da};
+  } else if (std::sscanf(s,
+                         "deliver %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                         " %" SCNu64 " %" SCNu64 " %c",
+                         &t, &id, &from, &to, &sent, &da, &tail) == 6) {
+    e = Event{EventKind::kDelivery, t, static_cast<ProcessId>(to),
+              static_cast<ProcessId>(from), id, sent, da};
+  } else if (std::sscanf(s, "crash %" SCNu64 " %" SCNu64 " %c", &t, &from,
+                         &tail) == 2) {
+    e = Event{EventKind::kCrash, t, static_cast<ProcessId>(from), kNoProcess,
+              0, 0, 0};
+  } else {
+    return ParseResult::kError;
+  }
+  *out = e;
+  return ParseResult::kEvent;
+}
+
+void TraceRecorder::write_events(std::ostream& os) const {
+  for (const Event& e : events_) os << format_event(e) << '\n';
+}
+
+void TraceRecorder::write_trace(std::ostream& os, std::size_t n, Time d,
+                                Time delta, std::size_t f) const {
+  os << "# asyncgossip trace v1\n";
+  os << "model n=" << n << " d=" << d << " delta=" << delta << " f=" << f
+     << '\n';
+  if (dropped_ != 0)
+    os << "# WARNING: " << dropped_
+       << " events dropped by the bounded recorder; this trace is a prefix\n";
+  write_events(os);
 }
 
 Summary TraceRecorder::latency_summary() const { return summarize(latencies_); }
@@ -70,7 +153,7 @@ std::string TraceRecorder::render_timeline(std::size_t n,
   std::string out;
   out.reserve(rows * (max_time + 12));
   for (std::size_t p = 0; p < rows; ++p) {
-    char buf[16];
+    char buf[32];
     std::snprintf(buf, sizeof(buf), "%4zu ", p);
     out += buf;
     for (std::size_t t = 0; t < max_time; ++t) {

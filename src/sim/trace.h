@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,8 @@ class TraceRecorder final : public EngineObserver {
     ProcessId process = kNoProcess;  // actor (sender / receiver / stepper)
     ProcessId peer = kNoProcess;     // other endpoint for send/delivery
     MessageId message = 0;
-    Time send_time = 0;  // deliveries: when the message was sent
+    Time send_time = 0;      // sends/deliveries: when the message was sent
+    Time deliver_after = 0;  // sends/deliveries: earliest legal receipt
   };
 
   /// Records at most `max_events` events (counters keep running after the
@@ -57,6 +59,35 @@ class TraceRecorder final : public EngineObserver {
                               std::size_t max_time = 96) const;
 
   void clear();
+
+  // --- machine-readable trace format (consumed by tools/tracecheck) -------
+  //
+  // Line-oriented text, one event per line:
+  //   step <t> <p>
+  //   send <t> <id> <from> <to> <deliver_after>
+  //   deliver <t> <id> <from> <to> <send_time> <deliver_after>
+  //   crash <t> <p>
+  // Blank lines and lines starting with '#' are ignored; a
+  // `model n=<n> d=<d> delta=<delta> f=<f>` line carries the model spec.
+
+  /// Outcome of parsing one line of the text format.
+  enum class ParseResult : std::uint8_t {
+    kEvent,  // *out holds a parsed event
+    kSkip,   // blank line, comment, or model line — not an event
+    kError,  // malformed line
+  };
+
+  /// One event in the text format (no trailing newline).
+  static std::string format_event(const Event& e);
+  /// Parses one line of the text format into *out.
+  static ParseResult parse_line(const std::string& line, Event* out);
+
+  /// Writes every recorded event, one per line, in the text format.
+  void write_events(std::ostream& os) const;
+  /// Writes a header comment, the `model` line for the given spec, and
+  /// every recorded event: a complete, self-describing trace artifact.
+  void write_trace(std::ostream& os, std::size_t n, Time d, Time delta,
+                   std::size_t f) const;
 
  private:
   void push(Event e);

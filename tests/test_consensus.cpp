@@ -50,11 +50,16 @@ TEST_P(ConsensusSweep, AgreementValidityTermination) {
   EXPECT_TRUE(out.agreement);
   EXPECT_TRUE(out.validity);
   EXPECT_EQ(out.core_violations, 0u);
-  if (c.inputs == InputPattern::kAllZero) EXPECT_EQ(out.decided_value, 0);
-  if (c.inputs == InputPattern::kAllOne) EXPECT_EQ(out.decided_value, 1);
+  if (c.inputs == InputPattern::kAllZero) {
+    EXPECT_EQ(out.decided_value, 0);
+  }
+  if (c.inputs == InputPattern::kAllOne) {
+    EXPECT_EQ(out.decided_value, 1);
+  }
   // Unanimous inputs must decide in the very first phase.
-  if (c.inputs == InputPattern::kAllZero || c.inputs == InputPattern::kAllOne)
+  if (c.inputs == InputPattern::kAllZero || c.inputs == InputPattern::kAllOne) {
     EXPECT_EQ(out.decision_phase, 1u);
+  }
 }
 
 std::vector<ConsCase> make_cases() {

@@ -35,8 +35,9 @@ TEST(RoundRobin, DeterministicReseedIsNoop) {
     a.step(ca);
     b->step(cb);
     ASSERT_EQ(ca.outbox().size(), cb.outbox().size());
-    if (!ca.outbox().empty())
+    if (!ca.outbox().empty()) {
       EXPECT_EQ(ca.outbox()[0].to, cb.outbox()[0].to);
+    }
   }
 }
 

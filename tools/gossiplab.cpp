@@ -13,9 +13,13 @@
 //   gossiplab consensus --exchange tears --n 128 --seed 7
 //   gossiplab lowerbound --alg lazy --f 64 --seed 3
 //   gossiplab trace --alg ears --n 16 --f 4 --steps 96
+//   gossiplab trace --alg ears --n 16 --f 4 --record run.trace
+//   gossiplab gossip --alg tears --n 128 --f 32 --audit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -143,6 +147,7 @@ GossipSpec spec_from_flags(const Flags& f) {
   spec.tears_kappa_constant = get_double(f, "tears-kappa", 1.0);
   spec.lazy_fanout = get_u64(f, "lazy-fanout", 2);
   spec.max_steps = get_u64(f, "max-steps", 0);
+  spec.audit = has_flag(f, "audit");
   return spec;
 }
 
@@ -290,6 +295,18 @@ int cmd_trace(const Flags& f) {
   engine.set_observer(&trace);
   const Time steps = get_u64(f, "steps", 96);
   engine.run_until(gossip_quiet, steps);
+  if (has_flag(f, "record")) {
+    const std::string path = get_str(f, "record", "run.trace");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 2;
+    }
+    trace.write_trace(out, spec.n, spec.d, spec.delta, spec.f);
+    std::printf("recorded %zu events to %s (check with: tracecheck %s)\n",
+                trace.events().size(), path.c_str(), path.c_str());
+    return 0;
+  }
   std::printf("%s n=%zu f=%zu — timeline (o step, s send, d deliver, "
               "b both, X crash):\n\n",
               to_string(spec.algorithm), spec.n, spec.f);
@@ -319,13 +336,18 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  const std::string cmd = argv[1];
-  const Flags flags = parse_flags(argc, argv, 2);
-  if (cmd == "gossip") return cmd_gossip(flags);
-  if (cmd == "sweep") return cmd_sweep(flags);
-  if (cmd == "consensus") return cmd_consensus(flags);
-  if (cmd == "lowerbound") return cmd_lowerbound(flags);
-  if (cmd == "trace") return cmd_trace(flags);
+  try {
+    const std::string cmd = argv[1];
+    const Flags flags = parse_flags(argc, argv, 2);
+    if (cmd == "gossip") return cmd_gossip(flags);
+    if (cmd == "sweep") return cmd_sweep(flags);
+    if (cmd == "consensus") return cmd_consensus(flags);
+    if (cmd == "lowerbound") return cmd_lowerbound(flags);
+    if (cmd == "trace") return cmd_trace(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gossiplab: %s\n", e.what());
+    return 3;
+  }
   usage();
   return 2;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the whole tree using the checked-in .clang-tidy profile.
+#
+# Usage: tools/run_tidy.sh [extra run-clang-tidy args...]
+#
+# Configures the `tidy` preset (Debug + compile_commands.json) if needed, then
+# runs clang-tidy over every translation unit under src/ tools/ bench/ tests/
+# and examples/. Exits nonzero on any finding (.clang-tidy sets
+# WarningsAsErrors: '*').
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-tidy"
+
+cd "${repo_root}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found in PATH" >&2
+  echo "hint: install it (e.g. apt-get install clang-tidy) and re-run" >&2
+  exit 2
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  cmake --preset tidy -G Ninja
+fi
+
+# Prefer the parallel driver when available; fall back to plain clang-tidy.
+runner="$(command -v run-clang-tidy || true)"
+if [[ -n "${runner}" ]]; then
+  "${runner}" -p "${build_dir}" -quiet "$@" \
+    "${repo_root}/(src|tools|bench|tests|examples)/.*\.cpp$"
+else
+  mapfile -t sources < <(
+    find src tools bench tests examples -name '*.cpp' | sort
+  )
+  clang-tidy -p "${build_dir}" --quiet "$@" "${sources[@]}"
+fi
+
+echo "clang-tidy: clean"

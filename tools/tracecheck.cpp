@@ -1,0 +1,259 @@
+// tracecheck — offline linter for recorded execution traces.
+//
+// Consumes the text trace format written by TraceRecorder::write_trace
+// (sim/trace.h; record one with `gossiplab trace --record FILE`) plus a
+// model spec (n, d, delta, f), replays the events through the same
+// InvariantAuditor that audits live runs (sim/audit.h), and reports every
+// model-contract violation with the offending line and surrounding
+// context. Exit status: 0 clean, 1 violations found, 2 usage or I/O
+// error, 3 malformed trace.
+//
+// The model spec is read from the trace's `model n=.. d=.. delta=.. f=..`
+// line; command-line flags override it. This makes a recorded trace a
+// *verifiable artifact*: a benchmark run can ship its trace, and anyone
+// can re-check that the claimed (d, delta, f) bounds actually held.
+//
+// Usage:
+//   tracecheck [--n N] [--d D] [--delta DELTA] [--f F]
+//              [--context K] [--max-report M] [--no-finalize] FILE
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/audit.h"
+#include "sim/trace.h"
+
+using namespace asyncgossip;
+
+namespace {
+
+struct Options {
+  AuditConfig model;
+  bool n_set = false, d_set = false, delta_set = false, f_set = false;
+  std::size_t context = 2;
+  bool finalize = true;
+  std::string path;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tracecheck [--n N] [--d D] [--delta DELTA] [--f F]\n"
+               "                  [--context K] [--max-report M] "
+               "[--no-finalize] FILE\n"
+               "record a trace with: gossiplab trace --alg ears --n 16 "
+               "--f 4 --record FILE\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_options(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_u64 = [&](std::uint64_t* out) {
+      return i + 1 < argc && parse_u64(argv[++i], out);
+    };
+    std::uint64_t v = 0;
+    if (arg == "--n" && next_u64(&v)) {
+      opts->model.n = v;
+      opts->n_set = true;
+    } else if (arg == "--d" && next_u64(&v)) {
+      opts->model.d = v;
+      opts->d_set = true;
+    } else if (arg == "--delta" && next_u64(&v)) {
+      opts->model.delta = v;
+      opts->delta_set = true;
+    } else if (arg == "--f" && next_u64(&v)) {
+      opts->model.max_crashes = v;
+      opts->f_set = true;
+    } else if (arg == "--context" && next_u64(&v)) {
+      opts->context = v;
+    } else if (arg == "--max-report" && next_u64(&v)) {
+      opts->model.max_recorded = v;
+    } else if (arg == "--no-finalize") {
+      opts->finalize = false;
+    } else if (!arg.empty() && arg[0] != '-' && opts->path.empty()) {
+      opts->path = arg;
+    } else {
+      std::fprintf(stderr, "tracecheck: bad argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opts->path.empty();
+}
+
+/// Absorbs a `model n=.. d=.. delta=.. f=..` line, not overriding values
+/// pinned on the command line.
+void absorb_model_line(const std::string& line, Options* opts) {
+  unsigned long long n = 0, d = 0, delta = 0, f = 0;
+  if (std::sscanf(line.c_str(), "model n=%llu d=%llu delta=%llu f=%llu", &n,
+                  &d, &delta, &f) != 4)
+    return;
+  if (!opts->n_set) opts->model.n = static_cast<std::size_t>(n);
+  if (!opts->d_set) opts->model.d = d;
+  if (!opts->delta_set) opts->model.delta = delta;
+  if (!opts->f_set) opts->model.max_crashes = static_cast<std::size_t>(f);
+}
+
+void print_context(const std::vector<std::string>& lines, std::size_t line_no,
+                   std::size_t context) {
+  const std::size_t first = line_no > context ? line_no - context : 1;
+  const std::size_t last = std::min(lines.size(), line_no + context);
+  for (std::size_t i = first; i <= last; ++i)
+    std::fprintf(stderr, "  %c%5zu | %s\n", i == line_no ? '>' : ' ', i,
+                 lines[i - 1].c_str());
+}
+
+int run(const Options& opts_in) {
+  Options opts = opts_in;
+  std::ifstream in(opts.path);
+  if (!in) {
+    std::fprintf(stderr, "tracecheck: cannot open %s\n", opts.path.c_str());
+    return 2;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  // First pass: pick up the model spec (flags win over the model line).
+  for (const std::string& line : lines)
+    if (line.rfind("model", 0) == 0) absorb_model_line(line, &opts);
+  if (opts.model.n == 0) {
+    std::fprintf(stderr,
+                 "tracecheck: no model spec — the trace has no `model` line "
+                 "and --n was not given\n");
+    return 2;
+  }
+
+  InvariantAuditor auditor(opts.model);
+  std::uint64_t reported = 0;
+  std::size_t parse_errors = 0;
+  Time last_event_time = 0;
+  bool any_event = false;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    TraceRecorder::Event e;
+    const auto parsed = TraceRecorder::parse_line(lines[i], &e);
+    if (parsed == TraceRecorder::ParseResult::kSkip) continue;
+    if (parsed == TraceRecorder::ParseResult::kError) {
+      ++parse_errors;
+      if (parse_errors <= 3) {
+        std::fprintf(stderr, "%s:%zu: malformed trace line\n",
+                     opts.path.c_str(), i + 1);
+        print_context(lines, i + 1, opts.context);
+      }
+      continue;
+    }
+    const std::uint64_t before = auditor.report().total();
+    switch (e.kind) {
+      case TraceRecorder::EventKind::kStep:
+        auditor.on_step(e.time, e.process);
+        break;
+      case TraceRecorder::EventKind::kSend: {
+        Envelope env;
+        env.id = e.message;
+        env.from = e.process;
+        env.to = e.peer;
+        env.send_time = e.send_time;
+        env.deliver_after = e.deliver_after;
+        auditor.on_send(env);
+        break;
+      }
+      case TraceRecorder::EventKind::kDelivery: {
+        Envelope env;
+        env.id = e.message;
+        env.from = e.peer;
+        env.to = e.process;
+        env.send_time = e.send_time;
+        env.deliver_after = e.deliver_after;
+        auditor.on_delivery(env, e.time);
+        break;
+      }
+      case TraceRecorder::EventKind::kCrash:
+        auditor.on_crash(e.time, e.process);
+        break;
+    }
+    any_event = true;
+    last_event_time = std::max(last_event_time, e.time);
+
+    // Attribute fresh findings to this line while they are still cheap to
+    // locate; counts beyond max_recorded stay in the per-kind totals.
+    const auto& violations = auditor.report().violations();
+    for (std::uint64_t v = before; v < auditor.report().total(); ++v) {
+      ++reported;
+      if (v >= violations.size()) break;
+      const Violation& viol = violations[static_cast<std::size_t>(v)];
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", opts.path.c_str(), i + 1,
+                   to_string(viol.kind), viol.detail.c_str());
+      print_context(lines, i + 1, opts.context);
+    }
+  }
+
+  if (opts.finalize && any_event) {
+    const std::uint64_t before = auditor.report().total();
+    // The trace covers global steps 0 .. last_event_time; anything the
+    // engine ran beyond that emitted no events and cannot starve anyone
+    // for longer than what finalize already checks.
+    auditor.finalize(last_event_time + 1);
+    const auto& violations = auditor.report().violations();
+    for (std::uint64_t v = before; v < auditor.report().total(); ++v) {
+      ++reported;
+      if (v >= violations.size()) break;
+      const Violation& viol = violations[static_cast<std::size_t>(v)];
+      std::fprintf(stderr, "%s: [%s] %s (end-of-trace check)\n",
+                   opts.path.c_str(), to_string(viol.kind),
+                   viol.detail.c_str());
+    }
+  }
+
+  const std::uint64_t total = auditor.report().total();
+  if (parse_errors != 0) {
+    std::fprintf(stderr, "tracecheck: %zu malformed line(s), %llu model "
+                 "violation(s)\n",
+                 parse_errors, static_cast<unsigned long long>(total));
+    return 3;
+  }
+  if (total != 0) {
+    std::fprintf(stderr,
+                 "tracecheck: %llu model violation(s) in %s (n=%zu d=%llu "
+                 "delta=%llu f=%zu)\n",
+                 static_cast<unsigned long long>(total), opts.path.c_str(),
+                 opts.model.n, static_cast<unsigned long long>(opts.model.d),
+                 static_cast<unsigned long long>(opts.model.delta),
+                 opts.model.max_crashes);
+    return 1;
+  }
+  std::printf(
+      "tracecheck: OK — %llu steps, %llu sends, %llu deliveries, %llu "
+      "crashes conform to (n=%zu, d=%llu, delta=%llu, f=%zu)\n",
+      static_cast<unsigned long long>(auditor.observed_steps()),
+      static_cast<unsigned long long>(auditor.observed_sends()),
+      static_cast<unsigned long long>(auditor.observed_deliveries()),
+      static_cast<unsigned long long>(auditor.observed_crashes()),
+      opts.model.n, static_cast<unsigned long long>(opts.model.d),
+      static_cast<unsigned long long>(opts.model.delta),
+      opts.model.max_crashes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_options(argc, argv, &opts)) {
+    usage();
+    return 2;
+  }
+  try {
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracecheck: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,38 @@
+# Smoke test for the trace-as-verifiable-artifact pipeline:
+#   1. gossiplab records a trace of a clean audited run;
+#   2. tracecheck must accept it (exit 0);
+#   3. a tampered copy (an appended out-of-order step event) must be
+#      rejected with a nonzero exit.
+# Driven by ctest; see tools/CMakeLists.txt.
+foreach(var GOSSIPLAB TRACECHECK WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "tracecheck_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+set(clean "${WORKDIR}/tracecheck_smoke_clean.trace")
+set(mutated "${WORKDIR}/tracecheck_smoke_mutated.trace")
+
+execute_process(
+  COMMAND "${GOSSIPLAB}" trace --alg ears --n 16 --f 4 --d 3 --delta 2
+          --schedule staggered --seed 7 --steps 400 --record "${clean}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gossiplab failed to record a trace (exit ${rc})")
+endif()
+
+execute_process(COMMAND "${TRACECHECK}" "${clean}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tracecheck rejected a clean trace (exit ${rc})")
+endif()
+
+file(READ "${clean}" contents)
+file(WRITE "${mutated}" "${contents}step 0 0\n")
+execute_process(COMMAND "${TRACECHECK}" "${mutated}"
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "tracecheck accepted a tampered trace")
+endif()
+
+message(STATUS "tracecheck smoke test passed (clean accepted, tampered "
+               "rejected with exit ${rc})")
