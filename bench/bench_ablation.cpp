@@ -15,6 +15,9 @@
 #include "gossip/epidemic.h"
 
 namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("ablation");
+
 namespace {
 
 constexpr int kIterations = 5;
@@ -34,7 +37,8 @@ void BM_EarsShutdownConstant(benchmark::State& state) {
     }
     acc.add(out);
   }
-  acc.flush(state, 128.0, 4.0);
+  acc.flush(state, 128.0, 4.0,
+            "ears-shutdown-c/c:" + std::to_string(c));
 }
 
 void BM_EarsProgressControl(benchmark::State& state) {
@@ -61,7 +65,10 @@ void BM_EarsProgressControl(benchmark::State& state) {
     }
     acc.add(out);
   }
-  acc.flush(state, 128.0, 4.0);
+  acc.flush(state, 128.0, 4.0,
+            std::string("ears-progress-ctl/informed:") +
+                (with_informed_list ? "1" : "0") +
+                "/budget-mult:" + std::to_string(budget_multiplier));
 }
 
 void BM_SearsEpsilon(benchmark::State& state) {
@@ -79,7 +86,7 @@ void BM_SearsEpsilon(benchmark::State& state) {
     }
     acc.add(out);
   }
-  acc.flush(state, 256.0, 4.0);
+  acc.flush(state, 256.0, 4.0, "sears-epsilon/eps:" + std::to_string(eps));
 }
 
 void BM_TearsConstants(benchmark::State& state) {
@@ -98,7 +105,8 @@ void BM_TearsConstants(benchmark::State& state) {
     }
     acc.add(out);
   }
-  acc.flush(state, 1024.0, 4.0);
+  acc.flush(state, 1024.0, 4.0,
+            "tears-constants/mult:" + std::to_string(mult));
 }
 
 void BM_RoundRobinVsEars(benchmark::State& state) {
@@ -119,7 +127,8 @@ void BM_RoundRobinVsEars(benchmark::State& state) {
     }
     acc.add(out);
   }
-  acc.flush(state, 128.0, 4.0);
+  acc.flush(state, 128.0, 4.0,
+            deterministic ? "derandomized/round-robin" : "derandomized/ears");
 }
 
 // Shut-down constant C in tenths: 0.5, 1, 2, 4, 8.

@@ -20,6 +20,9 @@
 #include "lowerbound/adaptive.h"
 
 namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("coa");
+
 namespace {
 
 constexpr int kIterations = 3;
@@ -80,6 +83,8 @@ void run_case(benchmark::State& state, GossipAlgorithm alg) {
   state.counters["m_coa_benign"] = (ben_msgs / r) / (sync_msgs / r);
   state.counters["f2_over_n"] =
       static_cast<double>(f) * static_cast<double>(f) / static_cast<double>(n);
+  record_case(state,
+              std::string("coa-") + to_string(alg) + "/f:" + std::to_string(f));
 }
 
 void BM_CoA_Ears(benchmark::State& state) {

@@ -5,13 +5,108 @@
 // not wall-clock time. Each benchmark case therefore runs a fixed small
 // number of iterations with distinct seeds and reports the mean metrics as
 // user counters; wall time in the report is incidental.
+// Machine-readable reports: when the AG_BENCH_JSON environment variable
+// names a file, every case recorded via record_case (GossipAccumulator::
+// flush does this automatically) is aggregated into an
+// "asyncgossip-bench-v1" JSON document written at process exit — e.g.
+//   AG_BENCH_JSON=BENCH_table1.json ./bench_table1_gossip
+// Each binary declares its suite name once with AG_BENCH_SUITE("table1").
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "gossip/harness.h"
+#include "sim/telemetry_export.h"
 
 namespace asyncgossip::bench {
+
+/// Accumulates (case name, user counters) rows and writes them as JSON at
+/// static-destruction time — benchmark_main owns main(), so process exit is
+/// the only hook every binary shares.
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport report;
+    return report;
+  }
+
+  void set_suite(const char* name) { suite_ = name; }
+
+  void add_case(const std::string& name,
+                std::vector<std::pair<std::string, double>> counters) {
+    cases_.push_back({name, std::move(counters)});
+  }
+
+  ~BenchReport() {
+    const char* path = std::getenv("AG_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0' || cases_.empty()) return;
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "AG_BENCH_JSON: cannot open %s for writing\n", path);
+      return;
+    }
+    std::fprintf(out, "{\n  \"schema\": \"asyncgossip-bench-v1\",\n");
+    std::fprintf(out, "  \"suite\": \"%s\",\n", json_escape(suite_).c_str());
+    std::fprintf(out, "  \"cases\": [");
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      std::fprintf(out, "%s    {\"name\": \"%s\", \"counters\": {",
+                   i == 0 ? "\n" : ",\n",
+                   json_escape(cases_[i].name).c_str());
+      const auto& counters = cases_[i].counters;
+      for (std::size_t c = 0; c < counters.size(); ++c) {
+        std::fprintf(out, "%s\"%s\": %.12g", c == 0 ? "" : ", ",
+                     json_escape(counters[c].first).c_str(),
+                     counters[c].second);
+      }
+      std::fprintf(out, "}}");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+  }
+
+ private:
+  struct Case {
+    std::string name;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::string suite_ = "bench";
+  std::vector<Case> cases_;
+};
+
+/// Snapshots a finished case's user counters into the report under `label`
+/// (this benchmark version exposes no State::name(), so the caller supplies
+/// one — GossipAccumulator::flush derives it from the spec). Call after the
+/// counters are final.
+inline void record_case(const benchmark::State& state,
+                        const std::string& label) {
+  std::vector<std::pair<std::string, double>> counters;
+  counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters)
+    counters.emplace_back(name, static_cast<double>(counter.value));
+  BenchReport::instance().add_case(label, std::move(counters));
+}
+
+/// Canonical case label for a gossip spec: "ears/n:256/f:64/d:4/delta:3".
+inline std::string spec_label(const GossipSpec& spec) {
+  return std::string(to_string(spec.algorithm)) + "/n:" +
+         std::to_string(spec.n) + "/f:" + std::to_string(spec.f) +
+         "/d:" + std::to_string(spec.d) +
+         "/delta:" + std::to_string(spec.delta);
+}
+
+/// Declares the binary's suite name for the AG_BENCH_JSON report. Place one
+/// at namespace scope in each bench_*.cpp.
+#define AG_BENCH_SUITE(suite_name)                                       \
+  static const int ag_bench_suite_registered_ = [] {                     \
+    ::asyncgossip::bench::BenchReport::instance().set_suite(suite_name); \
+    return 0;                                                            \
+  }()
 
 /// Aggregates gossip outcomes across iterations into counters.
 class GossipAccumulator {
@@ -24,7 +119,8 @@ class GossipAccumulator {
     majorities_ += out.majority_ok ? 1 : 0;
   }
 
-  void flush(benchmark::State& state, double n, double d_plus_delta) const {
+  void flush(benchmark::State& state, double n, double d_plus_delta,
+             const std::string& label = "") const {
     if (runs_ == 0) return;
     const double r = static_cast<double>(runs_);
     state.counters["msgs"] = messages_ / r;
@@ -33,6 +129,7 @@ class GossipAccumulator {
     state.counters["msgs_per_n"] = messages_ / r / n;
     state.counters["gather_ok"] = static_cast<double>(gatherings_) / r;
     state.counters["majority_ok"] = static_cast<double>(majorities_) / r;
+    if (!label.empty()) record_case(state, label);
   }
 
  private:

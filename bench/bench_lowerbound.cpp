@@ -15,10 +15,14 @@
 //              damage)
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "gossip/harness.h"
 #include "lowerbound/adaptive.h"
 
 namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("lowerbound");
+
 namespace {
 
 constexpr int kIterations = 3;
@@ -91,6 +95,8 @@ void run_case(benchmark::State& state, GossipAlgorithm alg) {
     state.counters["case2_window_end"] = window_end / case2;
     state.counters["case2_window_per_f"] = window_end / case2 / ff;
   }
+  record_case(state, std::string("lowerbound-") + to_string(alg) +
+                         "/f:" + std::to_string(f));
 }
 
 void BM_LowerBound_Ears(benchmark::State& state) {

@@ -16,6 +16,9 @@
 #include "bench_common.h"
 
 namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("table1");
+
 namespace {
 
 constexpr int kIterations = 3;
@@ -34,7 +37,7 @@ void run_case(benchmark::State& state, GossipSpec spec) {
     benchmark::DoNotOptimize(out.messages);
   }
   acc.flush(state, static_cast<double>(spec.n),
-            static_cast<double>(spec.d + spec.delta));
+            static_cast<double>(spec.d + spec.delta), spec_label(spec));
 }
 
 void BM_Trivial(benchmark::State& state) {

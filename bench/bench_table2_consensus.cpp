@@ -15,9 +15,13 @@
 //   CR-tears : msgs ~ n^{7/4} log^2 n, steps ~ (d + delta)
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "consensus/canetti_rabin.h"
 
 namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("table2");
+
 namespace {
 
 constexpr int kIterations = 3;
@@ -72,6 +76,10 @@ void run_case(benchmark::State& state, ExchangeKind kind, double epsilon) {
   state.counters["agree_ok"] = agree / r;
   state.counters["valid_ok"] = valid / r;
   state.counters["reannounce"] = reannounce / r;
+  record_case(state, std::string("cr-") + to_string(kind) + "/n:" +
+                         std::to_string(n) + "/d:" + std::to_string(d) +
+                         "/delta:" + std::to_string(delta) +
+                         "/eps:" + std::to_string(epsilon));
 }
 
 void BM_CR(benchmark::State& state) {

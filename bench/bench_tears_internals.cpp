@@ -18,6 +18,9 @@
 #include "gossip/tears.h"
 
 namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("tears-internals");
+
 namespace {
 
 constexpr int kIterations = 3;
@@ -70,6 +73,8 @@ void BM_TearsInternals(benchmark::State& state) {
   state.counters["majority_need"] = static_cast<double>(n / 2 + 1);
   state.counters["mean_bcasts"] = mean_bcasts / r;
   state.counters["majority_ok"] = majority / r;
+  record_case(state, "tears-internals/n:" + std::to_string(n) +
+                         "/d:" + std::to_string(d));
 }
 
 // n sweep at d = 1 (growth exponent), plus a d sweep at fixed n (message

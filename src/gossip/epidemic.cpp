@@ -96,6 +96,18 @@ void EpidemicGossipProcess::step(StepContext& ctx) {
     sleep_cnt_ = 0;
   }
 
+  // Telemetry: report the phase (no-ops without an attached ProbeSink).
+  // "epidemic" while L(p) is non-empty, "shutdown" for the trailing
+  // shutdown_steps sending steps, "asleep" once silent for good.
+  const char* phase = sleep_cnt_ == 0              ? "epidemic"
+                      : sleep_cnt_ <= config_.shutdown_steps ? "shutdown"
+                                                             : "asleep";
+  if (phase != last_phase_) {
+    ctx.probe_phase(phase);
+    last_phase_ = phase;
+  }
+  ctx.probe_state(rumors_.count(), fully_informed_count_);
+
   // (3) Epidemic transmission (lines 15-21): while awake — i.e. during
   // normal operation and for `shutdown_steps` further steps after L(p)
   // empties — push the current snapshot to `fanout` uniform targets, then

@@ -96,6 +96,7 @@ class EpidemicGossipProcess final : public GossipProcess {
 
   std::uint64_t sleep_cnt_ = 0;
   std::uint64_t steps_taken_ = 0;
+  const char* last_phase_ = nullptr;  // last phase reported via probe_phase
   std::shared_ptr<const EpidemicPayload> cached_snapshot_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "gossip/epidemic.h"
+#include "sim/telemetry.h"
 #include "gossip/lazy.h"
 #include "gossip/roundrobin.h"
 #include "gossip/sync_gossip.h"
@@ -148,6 +149,24 @@ Engine make_gossip_engine(const GossipSpec& spec) {
                 std::make_unique<ObliviousAdversary>(adv), ecfg);
 }
 
+TelemetryConfig telemetry_config(const GossipSpec& spec) {
+  TelemetryConfig cfg;
+  cfg.n = spec.n;
+  cfg.d = spec.d;
+  cfg.delta = spec.delta;
+  return cfg;
+}
+
+namespace {
+
+void attach_telemetry(Engine& engine, TelemetryCollector* telemetry) {
+  if (telemetry == nullptr) return;
+  engine.add_observer(telemetry);
+  engine.set_probe_sink(telemetry);
+}
+
+}  // namespace
+
 GossipOutcome run_gossip_spec(const GossipSpec& spec) {
   if (spec.audit) {
     AuditedGossipOutcome audited = run_audited_gossip_spec(spec);
@@ -157,9 +176,12 @@ GossipOutcome run_gossip_spec(const GossipSpec& spec) {
     return audited.outcome;
   }
   Engine engine = make_gossip_engine(spec);
+  attach_telemetry(engine, spec.telemetry);
   const Time budget =
       spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
-  return run_gossip(engine, budget);
+  GossipOutcome outcome = run_gossip(engine, budget);
+  if (spec.telemetry != nullptr) spec.telemetry->finalize(engine.now());
+  return outcome;
 }
 
 AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec) {
@@ -170,13 +192,15 @@ AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec) {
   audit_cfg.delta = spec.delta;
   audit_cfg.max_crashes = spec.f;
   InvariantAuditor auditor(audit_cfg);
-  engine.set_observer(&auditor);
+  engine.add_observer(&auditor);
+  attach_telemetry(engine, spec.telemetry);
   const Time budget =
       spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
   AuditedGossipOutcome result;
   result.outcome = run_gossip(engine, budget);
   auditor.finalize(engine.now());
   auditor.cross_check(engine.metrics());
+  if (spec.telemetry != nullptr) spec.telemetry->finalize(engine.now());
   result.audit = auditor.report();
   return result;
 }

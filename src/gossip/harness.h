@@ -16,6 +16,9 @@
 
 namespace asyncgossip {
 
+class TelemetryCollector;
+struct TelemetryConfig;
+
 enum class GossipAlgorithm {
   kTrivial,
   kEars,
@@ -66,7 +69,17 @@ struct GossipSpec {
   /// run_gossip_spec throws ModelViolation if it finds anything. Use
   /// run_audited_gossip_spec to inspect the report instead of throwing.
   bool audit = false;
+
+  /// Optional run telemetry (sim/telemetry.h). When non-null, the collector
+  /// is attached as an extra observer + probe sink for the run and
+  /// finalize()d afterwards; it must outlive the call and have been built
+  /// for this spec's (n, d, delta) — telemetry_config(spec) does that.
+  /// Telemetry never perturbs the run (same trace hash and metrics).
+  TelemetryCollector* telemetry = nullptr;
 };
+
+/// TelemetryConfig matching a spec's model parameters.
+TelemetryConfig telemetry_config(const GossipSpec& spec);
 
 /// Builds the process vector for a spec (exposed so consensus and the
 /// lower-bound driver can reuse algorithm construction).

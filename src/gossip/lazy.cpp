@@ -22,12 +22,14 @@ void LazyGossipProcess::step(StepContext& ctx) {
     const auto* m = payload_cast<LazyPayload>(env);
     if (m != nullptr && rumors_.merge(m->rumors)) novel = true;
   }
+  if (steps_taken_ == 0) ctx.probe_phase("lazy-forward");
   if (novel) {
     auto payload = std::make_shared<LazyPayload>();
     payload->rumors = rumors_;
     for (std::uint64_t q : rng_.sample_without_replacement(n_, fanout_))
       ctx.send(static_cast<ProcessId>(q), payload);
   }
+  ctx.probe_state(rumors_.count(), 0);
   ++steps_taken_;
 }
 

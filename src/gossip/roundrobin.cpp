@@ -79,6 +79,15 @@ void RoundRobinGossipProcess::step(StepContext& ctx) {
     sleep_cnt_ = 0;
   }
 
+  const char* phase = sleep_cnt_ == 0              ? "epidemic"
+                      : sleep_cnt_ <= config_.shutdown_steps ? "shutdown"
+                                                             : "asleep";
+  if (phase != last_phase_) {
+    ctx.probe_phase(phase);
+    last_phase_ = phase;
+  }
+  ctx.probe_state(rumors_.count(), fully_informed_count_);
+
   if (sleep_cnt_ <= config_.shutdown_steps) {
     const auto q = static_cast<ProcessId>(
         (id_ + next_target_offset_) % config_.n);

@@ -62,6 +62,7 @@ class RoundRobinGossipProcess final : public GossipProcess {
   std::size_t next_target_offset_ = 1;  // cursor in the cyclic order
   std::uint64_t sleep_cnt_ = 0;
   std::uint64_t steps_taken_ = 0;
+  const char* last_phase_ = nullptr;  // last phase reported via probe_phase
   std::shared_ptr<const EpidemicPayload> cached_snapshot_;
 };
 

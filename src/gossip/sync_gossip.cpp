@@ -23,11 +23,20 @@ void SyncGossipProcess::step(StepContext& ctx) {
     const auto* m = payload_cast<SyncGossipPayload>(env);
     if (m != nullptr) rumors_.merge(m->rumors);
   }
+  // Telemetry phase markers: round boundaries of the fixed-length schedule.
+  if (steps_taken_ == 0) {
+    ctx.probe_phase("rounds-begin");
+  } else if (steps_taken_ + 1 == rounds_) {
+    ctx.probe_phase("final-round");
+  } else if (steps_taken_ == rounds_) {
+    ctx.probe_phase("rounds-done");
+  }
   if (steps_taken_ < rounds_) {
     auto payload = std::make_shared<SyncGossipPayload>();
     payload->rumors = rumors_;
     ctx.send(static_cast<ProcessId>(rng_.uniform(n_)), payload);
   }
+  ctx.probe_state(rumors_.count(), 0);
   ++steps_taken_;
 }
 

@@ -81,6 +81,7 @@ void TearsProcess::step(StepContext& ctx) {
 
   // First local step: first-level transmission of own rumor to Pi1.
   if (steps_taken_ == 0) {
+    ctx.probe_phase("first-level");
     auto first = std::make_shared<TearsPayload>();
     first->rumors = rumors_;
     first->flag_up = true;
@@ -92,6 +93,7 @@ void TearsProcess::step(StepContext& ctx) {
 
   // Second-level transmission to Pi2 when a trigger count was crossed.
   if (broadcast_trigger_crossed(cnt_before, up_msg_cnt_)) {
+    ctx.probe_phase("second-level");
     auto second = std::make_shared<TearsPayload>();
     second->rumors = rumors_;
     second->flag_up = false;
@@ -102,6 +104,7 @@ void TearsProcess::step(StepContext& ctx) {
     ++bcasts_sent_;
   }
 
+  ctx.probe_state(rumors_.count(), 0);
   ++steps_taken_;
 }
 

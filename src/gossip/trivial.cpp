@@ -16,11 +16,13 @@ void TrivialGossipProcess::step(StepContext& ctx) {
     if (m != nullptr) rumors_.merge(m->rumors);
   }
   if (steps_taken_ == 0) {
+    ctx.probe_phase("broadcast");
     auto payload = std::make_shared<TrivialPayload>();
     payload->rumors = rumors_;
     for (std::size_t q = 0; q < n_; ++q)
       ctx.send(static_cast<ProcessId>(q), payload);
   }
+  ctx.probe_state(rumors_.count(), 0);
   ++steps_taken_;
 }
 

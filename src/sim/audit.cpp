@@ -96,7 +96,9 @@ InvariantAuditor::InvariantAuditor(const AuditConfig& config)
       stepped_once_(config.n, false),
       last_step_(config.n, 0),
       prev_step_(config.n, kTimeMax),
-      per_process_sent_(config.n, 0) {
+      per_process_sent_(config.n, 0),
+      per_process_received_(config.n, 0),
+      pending_to_(config.n, 0) {
   if (config_.n == 0) throw ApiError("InvariantAuditor needs n >= 1");
   if (config_.d < 1 || config_.delta < 1)
     throw ApiError("audit bounds d and delta must be >= 1");
@@ -114,6 +116,10 @@ bool InvariantAuditor::check_clock(Time now) {
     add(ViolationKind::kTimeRegression, now, kNoProcess, 0, os.str());
     return false;  // keep clock_ at the high-water mark
   }
+  // The clock advancing past t means step t is complete: sample the
+  // in-flight gauge exactly where the engine does (end of each step).
+  if (any_event_ && now > clock_)
+    max_in_flight_ = std::max(max_in_flight_, in_flight_gauge_);
   any_event_ = true;
   clock_ = std::max(clock_, now);
   return true;
@@ -208,6 +214,12 @@ void InvariantAuditor::on_send(const Envelope& env) {
   ++per_process_sent_[env.from];
   last_send_time_ = now;
   any_send_ = true;
+  // Gauge mirror: a send to an already-crashed destination never enters
+  // the network (the engine drops it at end-of-step injection).
+  if (!crashed_[env.to]) {
+    ++pending_to_[env.to];
+    ++in_flight_gauge_;
+  }
 }
 
 void InvariantAuditor::on_delivery(const Envelope& env, Time now) {
@@ -297,6 +309,11 @@ void InvariantAuditor::on_delivery(const Envelope& env, Time now) {
 
   // Mirror of Metrics::record_delivery for the realized-d cross-check.
   ++deliveries_total_;
+  ++per_process_received_[env.to];
+  if (pending_to_[env.to] > 0) {  // guarded: fabricated streams may deliver
+    --pending_to_[env.to];        // messages that were never sent
+    --in_flight_gauge_;
+  }
   if (now > env.send_time) {
     Time witnessed = 1;
     if (eff_prev != kTimeMax && eff_prev > env.send_time)
@@ -325,6 +342,10 @@ void InvariantAuditor::on_crash(Time now, ProcessId p) {
   }
   crashed_[p] = true;
   ++crash_count_;
+  // A crash voids the victim's pending messages (the engine clears its
+  // mailbox and deducts them from the in-flight total).
+  in_flight_gauge_ -= std::min<std::size_t>(in_flight_gauge_, pending_to_[p]);
+  pending_to_[p] = 0;
 }
 
 void InvariantAuditor::finalize(Time end_time) {
@@ -374,6 +395,9 @@ void InvariantAuditor::cross_check(const Metrics& metrics) {
     mismatch("realized_d", metrics.realized_d(), realized_d_);
   if (metrics.realized_delta() != realized_delta_)
     mismatch("realized_delta", metrics.realized_delta(), realized_delta_);
+  if (metrics.max_in_flight() != observed_max_in_flight())
+    mismatch("max_in_flight", metrics.max_in_flight(),
+             observed_max_in_flight());
   if (metrics.per_process_sent() != per_process_sent_) {
     for (ProcessId p = 0; p < config_.n; ++p) {
       if (metrics.messages_sent_by(p) != per_process_sent_[p]) {
@@ -381,6 +405,17 @@ void InvariantAuditor::cross_check(const Metrics& metrics) {
         os << "per-process sends of p=" << p << ": engine reports "
            << metrics.messages_sent_by(p) << ", audit recomputed "
            << per_process_sent_[p];
+        add(ViolationKind::kMetricsMismatch, kTimeMax, p, 0, os.str());
+      }
+    }
+  }
+  if (metrics.per_process_received() != per_process_received_) {
+    for (ProcessId p = 0; p < config_.n; ++p) {
+      if (metrics.messages_received_by(p) != per_process_received_[p]) {
+        std::ostringstream os;
+        os << "per-process deliveries of p=" << p << ": engine reports "
+           << metrics.messages_received_by(p) << ", audit recomputed "
+           << per_process_received_[p];
         add(ViolationKind::kMetricsMismatch, kTimeMax, p, 0, os.str());
       }
     }

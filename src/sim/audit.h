@@ -17,6 +17,7 @@
 // mechanically checked property rather than a comment.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -159,6 +160,13 @@ class InvariantAuditor final : public EngineObserver {
   std::uint64_t observed_sends() const { return sends_total_; }
   std::uint64_t observed_deliveries() const { return deliveries_total_; }
   std::uint64_t observed_crashes() const { return crash_count_; }
+  /// Recomputed peak of the in-flight gauge, including the current value
+  /// (the engine samples at every end of step; the auditor samples whenever
+  /// the event clock advances, which covers every point where the gauge
+  /// can have changed).
+  std::size_t observed_max_in_flight() const {
+    return std::max(max_in_flight_, in_flight_gauge_);
+  }
 
  private:
   struct PendingMessage {
@@ -199,10 +207,19 @@ class InvariantAuditor final : public EngineObserver {
   std::uint64_t bytes_total_ = 0;
   std::uint64_t crash_count_ = 0;
   std::vector<std::uint64_t> per_process_sent_;
+  std::vector<std::uint64_t> per_process_received_;
   Time last_send_time_ = 0;
   bool any_send_ = false;
   Time realized_d_ = 0;
   Time realized_delta_ = 0;
+
+  // In-flight gauge mirror: sent-but-undelivered messages per destination
+  // (a send to an already-crashed destination never enters the network; a
+  // crash voids the victim's pending messages). The max is sampled at
+  // every clock advance, i.e. at each step boundary.
+  std::vector<std::uint64_t> pending_to_;
+  std::size_t in_flight_gauge_ = 0;
+  std::size_t max_in_flight_ = 0;
 
   Time clock_ = 0;  // largest event time seen
   bool any_event_ = false;

@@ -94,7 +94,7 @@ void Engine::apply_crashes(const std::vector<ProcessId>& crash_list) {
     ++crashes_;
     --alive_count_;
     metrics_.record_crash();
-    if (observer_ != nullptr) observer_->on_crash(now_, p);
+    for (EngineObserver* o : observers_) o->on_crash(now_, p);
     // A crashed process never steps again; its pending messages are moot.
     in_flight_total_ -= mailbox_[p].size();
     mailbox_[p].clear();
@@ -136,8 +136,8 @@ std::vector<Envelope> Engine::collect_deliveries(ProcessId p) {
   std::deque<Envelope> kept;
   for (auto& env : box) {
     if (env.deliver_after <= now_) {
-      metrics_.record_delivery(env.send_time, prev_step, now_);
-      if (observer_ != nullptr) observer_->on_delivery(env, now_);
+      metrics_.record_delivery(p, env.send_time, prev_step, now_);
+      for (EngineObserver* o : observers_) o->on_delivery(env, now_);
       hash_mix(0xDE11ull ^ env.id);
       delivered.push_back(std::move(env));
     } else {
@@ -165,7 +165,7 @@ void Engine::dispatch_sends(ProcessId from,
     env.deliver_after = now_ + delay;
     metrics_.record_send(from, now_,
                           env.payload ? env.payload->byte_size() : 0);
-    if (observer_ != nullptr) observer_->on_send(env);
+    for (EngineObserver* obs : observers_) obs->on_send(env);
     hash_mix(0x5E4Dull ^ env.id ^ (static_cast<std::uint64_t>(env.to) << 32));
     pending_sends_.push_back(std::move(env));
   }
@@ -183,9 +183,10 @@ void Engine::advance_one_step() {
     const Time gap =
         stepped_once_[p] ? now_ - last_step_time_[p] : now_ + 1;
     metrics_.record_gap(gap);
-    if (observer_ != nullptr) observer_->on_step(now_, p);
+    for (EngineObserver* o : observers_) o->on_step(now_, p);
     const std::vector<Envelope> delivered = collect_deliveries(p);
     StepContext ctx(p, processes_.size(), local_steps_[p], delivered);
+    ctx.attach_probe(probe_sink_, now_);
     processes_[p]->step(ctx);
     dispatch_sends(p, std::move(ctx.outbox()));
     last_step_time_[p] = now_;
@@ -204,6 +205,7 @@ void Engine::advance_one_step() {
     ++in_flight_total_;
   }
   pending_sends_.clear();
+  metrics_.record_in_flight(in_flight_total_);
 
   ++now_;
 }

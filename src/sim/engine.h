@@ -23,6 +23,7 @@
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/observer.h"
+#include "sim/probe.h"
 #include "sim/process.h"
 #include "sim/types.h"
 
@@ -84,9 +85,25 @@ class Engine {
   /// equal hashes (determinism test).
   std::uint64_t trace_hash() const { return trace_hash_; }
 
-  /// Attaches a passive observer (nullptr detaches). Observation is
-  /// strictly read-only and never alters the execution.
-  void set_observer(EngineObserver* observer) { observer_ = observer; }
+  /// Replaces all attached observers with `observer` (nullptr detaches
+  /// everything). Observation is strictly read-only and never alters the
+  /// execution.
+  void set_observer(EngineObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  /// Attaches an additional passive observer alongside any already present
+  /// (the auditor and the telemetry collector routinely coexist). Events
+  /// fan out to observers in attachment order.
+  void add_observer(EngineObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  /// Attaches the sink that receives StepContext::probe_* reports from
+  /// algorithm code (nullptr detaches). Like observers, sinks are strictly
+  /// read-only with respect to the execution.
+  void set_probe_sink(ProbeSink* sink) { probe_sink_ = sink; }
 
  private:
   void advance_one_step();
@@ -113,7 +130,8 @@ class Engine {
   std::vector<std::uint64_t> local_steps_;
   MessageId next_message_id_ = 0;
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
-  EngineObserver* observer_ = nullptr;
+  std::vector<EngineObserver*> observers_;
+  ProbeSink* probe_sink_ = nullptr;
 
   // Sends produced during the current step, injected into mailboxes only
   // after every scheduled process has stepped (simultaneous semantics).

@@ -13,8 +13,10 @@ void Metrics::record_send(ProcessId from, Time now,
   any_send_ = true;
 }
 
-void Metrics::record_delivery(Time send_time, Time prev_step, Time now) {
+void Metrics::record_delivery(ProcessId to, Time send_time, Time prev_step,
+                              Time now) {
   ++messages_delivered_;
+  ++per_process_received_[to];
   Time witnessed = 1;
   if (prev_step != kTimeMax && prev_step > send_time)
     witnessed = prev_step - send_time + 1;
@@ -29,5 +31,9 @@ void Metrics::record_gap(Time gap) {
 void Metrics::record_local_step() { ++local_steps_; }
 
 void Metrics::record_crash() { ++crashes_; }
+
+void Metrics::record_in_flight(std::size_t in_flight) {
+  max_in_flight_ = std::max(max_in_flight_, in_flight);
+}
 
 }  // namespace asyncgossip

@@ -16,7 +16,8 @@ namespace asyncgossip {
 
 class Metrics {
  public:
-  explicit Metrics(std::size_t n) : per_process_sent_(n, 0) {}
+  explicit Metrics(std::size_t n)
+      : per_process_sent_(n, 0), per_process_received_(n, 0) {}
 
   // --- recording (engine only) ------------------------------------------
   void record_send(ProcessId from, Time now, std::size_t payload_bytes);
@@ -24,10 +25,13 @@ class Metrics {
   /// never stepped before): per the paper's definition, a message witnesses
   /// a delay bound of prev_step - send_time + 1 — the wait after the
   /// receiver's last pre-delivery step is attributable to delta, not d.
-  void record_delivery(Time send_time, Time prev_step, Time now);
+  void record_delivery(ProcessId to, Time send_time, Time prev_step, Time now);
   void record_gap(Time gap);
   void record_local_step();
   void record_crash();
+  /// End-of-step sample of the number of messages in the network; the
+  /// max_in_flight() gauge is the maximum over these samples.
+  void record_in_flight(std::size_t in_flight);
 
   // --- reporting ----------------------------------------------------------
   /// Total point-to-point messages sent.
@@ -42,6 +46,16 @@ class Metrics {
   const std::vector<std::uint64_t>& per_process_sent() const {
     return per_process_sent_;
   }
+  std::uint64_t messages_received_by(ProcessId p) const {
+    return per_process_received_[p];
+  }
+  const std::vector<std::uint64_t>& per_process_received() const {
+    return per_process_received_;
+  }
+
+  /// Peak network load: the largest end-of-step count of sent-but-undelivered
+  /// messages addressed to live processes (a crash voids its mailbox).
+  std::size_t max_in_flight() const { return max_in_flight_; }
 
   /// Global time of the most recent send; the natural "the system went
   /// quiet at ..." stamp used as gossip completion time.
@@ -66,7 +80,9 @@ class Metrics {
   bool any_send_ = false;
   Time realized_d_ = 0;
   Time realized_delta_ = 0;
+  std::size_t max_in_flight_ = 0;
   std::vector<std::uint64_t> per_process_sent_;
+  std::vector<std::uint64_t> per_process_received_;
 };
 
 }  // namespace asyncgossip

@@ -6,6 +6,38 @@
 
 namespace asyncgossip {
 
+const char* to_string(SchedulePattern pattern) {
+  switch (pattern) {
+    case SchedulePattern::kLockStep:
+      return "lockstep";
+    case SchedulePattern::kStaggered:
+      return "staggered";
+    case SchedulePattern::kRandomSubset:
+      return "random";
+    case SchedulePattern::kRotating:
+      return "rotating";
+    case SchedulePattern::kStraggler:
+      return "straggler";
+  }
+  return "?";
+}
+
+const char* to_string(DelayPattern pattern) {
+  switch (pattern) {
+    case DelayPattern::kUnitDelay:
+      return "unit";
+    case DelayPattern::kMaxDelay:
+      return "max";
+    case DelayPattern::kUniform:
+      return "uniform";
+    case DelayPattern::kBimodal:
+      return "bimodal";
+    case DelayPattern::kTargetedSlow:
+      return "targeted";
+  }
+  return "?";
+}
+
 CrashPlan no_crashes() { return {}; }
 
 CrashPlan random_crashes(std::size_t n, std::size_t f, Time horizon,

@@ -56,6 +56,10 @@ enum class DelayPattern {
   kTargetedSlow,
 };
 
+/// Flag-style names matching gossiplab's --schedule / --delay values.
+const char* to_string(SchedulePattern pattern);
+const char* to_string(DelayPattern pattern);
+
 /// A pre-committed crash plan: (time, process) pairs, at most f of them.
 using CrashPlan = std::vector<std::pair<Time, ProcessId>>;
 

@@ -1,0 +1,38 @@
+// Algorithm-side instrumentation hook.
+//
+// Observers (sim/observer.h) see what the *engine* does — steps, sends,
+// deliveries, crashes. A ProbeSink additionally hears what the *algorithm*
+// says about itself: phase transitions ("entered the shut-down phase") and
+// per-step state sizes (|V(p)|, progress of the informed list). Processes
+// report through StepContext::probe_phase / probe_state, which are no-ops
+// unless a sink is attached, so probing can be left in algorithm code
+// permanently without perturbing unobserved runs. Like observation, probing
+// is strictly read-only with respect to the execution: a sink receives data
+// and can never influence scheduling, delivery, or algorithm state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+class ProbeSink {
+ public:
+  virtual ~ProbeSink() = default;
+
+  /// Process p announced a phase transition. `phase` is a static label
+  /// (e.g. "epidemic", "shutdown", "second-level"); sinks that retain it
+  /// past the call must copy it.
+  virtual void on_phase(Time /*now*/, ProcessId /*p*/, const char* /*phase*/) {}
+
+  /// Process p reported its state sizes for this local step:
+  /// `rumors_known` is |V(p)| and `rumors_fully_informed` is the number of
+  /// rumors r in V(p) whose informed-list entry I(p)[r] covers all of [n]
+  /// (algorithms without an informed list report 0).
+  virtual void on_state(Time /*now*/, ProcessId /*p*/,
+                        std::uint64_t /*rumors_known*/,
+                        std::uint64_t /*rumors_fully_informed*/) {}
+};
+
+}  // namespace asyncgossip

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/message.h"
+#include "sim/probe.h"
 #include "sim/types.h"
 
 namespace asyncgossip {
@@ -53,12 +54,38 @@ class StepContext {
   /// Engine-side accessor; algorithm code has no reason to call this.
   std::vector<Outgoing>& outbox() { return outbox_; }
 
+  // --- instrumentation probes (sim/probe.h) -------------------------------
+  // No-ops unless the engine attached a sink; probing never affects the
+  // execution, so algorithms keep these calls in permanently. The global
+  // time forwarded to the sink stays invisible to the process itself.
+
+  /// Announces a phase transition (pass a static string literal).
+  void probe_phase(const char* phase) {
+    if (probe_ != nullptr) probe_->on_phase(probe_now_, self_, phase);
+  }
+
+  /// Reports |V(p)| and the number of fully-informed rumors (0 when the
+  /// algorithm keeps no informed list).
+  void probe_state(std::uint64_t rumors_known,
+                   std::uint64_t rumors_fully_informed) {
+    if (probe_ != nullptr)
+      probe_->on_state(probe_now_, self_, rumors_known, rumors_fully_informed);
+  }
+
+  /// Engine-side wiring of the probe sink; algorithm code never calls this.
+  void attach_probe(ProbeSink* sink, Time now) {
+    probe_ = sink;
+    probe_now_ = now;
+  }
+
  private:
   ProcessId self_;
   std::size_t n_;
   std::uint64_t local_step_;
   const std::vector<Envelope>& received_;
   std::vector<Outgoing> outbox_;
+  ProbeSink* probe_ = nullptr;
+  Time probe_now_ = 0;
 };
 
 class Process {

@@ -1,0 +1,227 @@
+#include "sim/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+TelemetryCollector::TelemetryCollector(const TelemetryConfig& config)
+    : config_(config),
+      last_known_(config.n, 0),
+      last_complete_(config.n, 0),
+      hist_(static_cast<std::size_t>(config.d + config.delta), 0),
+      pending_to_(config.n, 0),
+      crashed_(config.n, false),
+      per_process_(config.n) {
+  if (config_.n == 0) throw ApiError("TelemetryCollector needs n >= 1");
+  if (config_.d < 1 || config_.delta < 1)
+    throw ApiError("telemetry bounds d and delta must be >= 1");
+}
+
+void TelemetryCollector::roll_to(Time now) {
+  if (!any_activity_) {
+    any_activity_ = true;
+    open_step_ = now;
+    return;
+  }
+  if (now <= open_step_) return;  // same step (or out-of-order event)
+  // Step open_step_ is complete: sample the gauge where the engine does and
+  // store a spread point if anything happened during it.
+  max_in_flight_ = std::max(max_in_flight_, in_flight_);
+  if (dirty_) push_sample(open_step_);
+  dirty_ = false;
+  open_step_ = now;
+}
+
+void TelemetryCollector::push_sample(Time time) {
+  if (spread_.size() >= config_.max_samples) {
+    ++samples_dropped_;
+    return;
+  }
+  SpreadSample s;
+  s.time = time;
+  s.known_pairs = known_pairs_;
+  s.full_processes = full_processes_;
+  s.informed_pairs_complete = informed_pairs_complete_;
+  s.in_flight = in_flight_;
+  s.sent = sends_total_;
+  s.delivered = deliveries_total_;
+  spread_.push_back(std::move(s));
+}
+
+void TelemetryCollector::on_step(Time now, ProcessId p) {
+  roll_to(now);
+  if (p >= config_.n) return;
+  ++steps_total_;
+  ++per_process_[p].steps;
+  dirty_ = true;
+}
+
+void TelemetryCollector::on_send(const Envelope& env) {
+  roll_to(env.send_time);
+  if (env.from >= config_.n || env.to >= config_.n) return;
+  ++sends_total_;
+  ++per_process_[env.from].sends;
+  // A send to an already-crashed destination never enters the network.
+  if (!crashed_[env.to]) {
+    ++pending_to_[env.to];
+    ++in_flight_;
+  }
+  dirty_ = true;
+}
+
+void TelemetryCollector::on_delivery(const Envelope& env, Time now) {
+  roll_to(now);
+  if (env.to >= config_.n) return;
+  ++deliveries_total_;
+  ++per_process_[env.to].deliveries;
+  if (pending_to_[env.to] > 0) {
+    --pending_to_[env.to];
+    --in_flight_;
+  }
+  const Time latency = now > env.send_time ? now - env.send_time : 0;
+  if (latency >= 1 && latency <= config_.d + config_.delta - 1) {
+    ++hist_[static_cast<std::size_t>(latency)];
+  } else {
+    ++hist_overflow_;  // impossible in a model-conforming execution
+  }
+  latency_sum_ += latency;
+  latency_sq_sum_ += static_cast<double>(latency) * static_cast<double>(latency);
+  latency_max_ = std::max(latency_max_, latency);
+  dirty_ = true;
+}
+
+void TelemetryCollector::on_crash(Time now, ProcessId p) {
+  roll_to(now);
+  if (p >= config_.n || crashed_[p]) return;
+  crashed_[p] = true;
+  ++crashes_total_;
+  per_process_[p].crashed = true;
+  per_process_[p].crash_time = now;
+  // A crash voids the victim's pending messages.
+  in_flight_ -= std::min<std::uint64_t>(in_flight_, pending_to_[p]);
+  pending_to_[p] = 0;
+  dirty_ = true;
+}
+
+void TelemetryCollector::on_phase(Time now, ProcessId p, const char* phase) {
+  roll_to(now);
+  if (phases_.size() >= config_.max_phase_markers) {
+    ++phases_dropped_;
+    return;
+  }
+  phases_.push_back(PhaseMarker{now, p, phase != nullptr ? phase : ""});
+}
+
+void TelemetryCollector::on_state(Time now, ProcessId p,
+                                  std::uint64_t rumors_known,
+                                  std::uint64_t rumors_fully_informed) {
+  roll_to(now);
+  if (p >= config_.n) return;
+  const std::uint64_t n = config_.n;
+  // Deltas may be applied in any order; unsigned wraparound cancels even if
+  // a (non-monotone) algorithm reported a shrinking set.
+  known_pairs_ += rumors_known - last_known_[p];
+  if (last_known_[p] != n && rumors_known == n) ++full_processes_;
+  if (last_known_[p] == n && rumors_known != n) --full_processes_;
+  informed_pairs_complete_ += rumors_fully_informed - last_complete_[p];
+  last_known_[p] = rumors_known;
+  last_complete_[p] = rumors_fully_informed;
+  dirty_ = true;
+}
+
+void TelemetryCollector::finalize(Time end_time) {
+  max_in_flight_ = std::max(max_in_flight_, in_flight_);
+  if (any_activity_ && dirty_) push_sample(open_step_);
+  dirty_ = false;
+  end_time_ = end_time;
+  finalized_ = true;
+}
+
+Summary TelemetryCollector::latency_summary() const {
+  Summary s;
+  std::uint64_t counted = hist_overflow_;
+  for (std::size_t k = 1; k < hist_.size(); ++k) counted += hist_[k];
+  s.count = static_cast<std::size_t>(counted);
+  if (counted == 0) return s;
+  const double cnt = static_cast<double>(counted);
+  s.mean = static_cast<double>(latency_sum_) / cnt;
+  if (counted > 1) {
+    const double var =
+        (latency_sq_sum_ - cnt * s.mean * s.mean) / (cnt - 1.0);
+    s.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  s.max = static_cast<double>(latency_max_);
+  s.min = s.max;
+  for (std::size_t k = 1; k < hist_.size(); ++k) {
+    if (hist_[k] > 0) {
+      s.min = static_cast<double>(k);
+      break;
+    }
+  }
+  // Median from the exact bucket counts; overflow latencies (> d) sit at
+  // the top of the order, so walking buckets low-to-high is exact as long
+  // as the median itself lies within [1, d].
+  const std::uint64_t mid = (counted - 1) / 2;
+  std::uint64_t cum = 0;
+  s.median = static_cast<double>(latency_max_);
+  for (std::size_t k = 1; k < hist_.size(); ++k) {
+    cum += hist_[k];
+    if (cum > mid) {
+      if (counted % 2 == 1 || cum > mid + 1) {
+        s.median = static_cast<double>(k);
+      } else {
+        // Even count with the midpoint straddling this bucket's boundary.
+        std::size_t next = k + 1;
+        while (next < hist_.size() && hist_[next] == 0) ++next;
+        const double upper = next < hist_.size()
+                                 ? static_cast<double>(next)
+                                 : static_cast<double>(latency_max_);
+        s.median = (static_cast<double>(k) + upper) / 2.0;
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+double TelemetryCollector::informed_fraction() const {
+  const double nn =
+      static_cast<double>(config_.n) * static_cast<double>(config_.n);
+  return static_cast<double>(known_pairs_) / nn;
+}
+
+void TelemetryCollector::clear() {
+  std::fill(last_known_.begin(), last_known_.end(), 0);
+  std::fill(last_complete_.begin(), last_complete_.end(), 0);
+  known_pairs_ = 0;
+  full_processes_ = 0;
+  informed_pairs_complete_ = 0;
+  spread_.clear();
+  samples_dropped_ = 0;
+  open_step_ = 0;
+  any_activity_ = false;
+  dirty_ = false;
+  std::fill(hist_.begin(), hist_.end(), 0);
+  hist_overflow_ = 0;
+  latency_sum_ = 0;
+  latency_sq_sum_ = 0.0;
+  latency_max_ = 0;
+  std::fill(pending_to_.begin(), pending_to_.end(), 0);
+  std::fill(crashed_.begin(), crashed_.end(), false);
+  in_flight_ = 0;
+  max_in_flight_ = 0;
+  sends_total_ = 0;
+  deliveries_total_ = 0;
+  steps_total_ = 0;
+  crashes_total_ = 0;
+  per_process_.assign(config_.n, ProcessTelemetry{});
+  phases_.clear();
+  phases_dropped_ = 0;
+  end_time_ = 0;
+  finalized_ = false;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,199 @@
+// Run telemetry: how an execution unfolds, not just how it ends.
+//
+// The paper's claims are trajectories — EARS's epidemic phase followed by a
+// progress-controlled shut-down, SEARS's single-step spam burst, TEARS's
+// two-hop majority spread — so end-of-run totals (sim/metrics.h) miss the
+// shape the proofs are about. A TelemetryCollector is a passive
+// EngineObserver *and* ProbeSink that accumulates, per run:
+//
+//   (a) a rumor-spread time-series sampled per global step: the informed
+//       fraction (known (process, rumor) pairs over n^2), processes with a
+//       full rumor set, and informed-list progress, fed by the algorithms'
+//       StepContext::probe_state reports;
+//   (b) a delivery-latency histogram (latency = receipt - send time, in
+//       [1, d + delta - 1]) and an in-flight-message gauge;
+//   (c) per-process step / send / delivery counters and crash stamps;
+//   (d) phase markers from StepContext::probe_phase (epidemic -> shutdown
+//       -> asleep for EARS-family protocols, first-/second-level
+//       transmissions for TEARS, round boundaries for sync).
+//
+// Attachment is via GossipSpec::telemetry (gossip/harness.h) or manually
+// with Engine::add_observer + Engine::set_probe_sink. Per the observer
+// contract, collection never perturbs the run: a run with telemetry
+// attached has the same trace hash and metrics as one without
+// (tests/test_telemetry.cpp holds this as a regression test).
+// Machine-readable exports live in sim/telemetry_export.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/message.h"
+#include "sim/observer.h"
+#include "sim/probe.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+struct TelemetryConfig {
+  /// Number of processes (sizes every per-process series).
+  std::size_t n = 0;
+  /// Delivery bound d of the run. Together with delta it sizes the latency
+  /// histogram: a message enters the network for up to d steps and is then
+  /// picked up at its recipient's next step, at most delta - 1 steps later,
+  /// so conforming receipt latencies lie in [1, d + delta - 1]; anything
+  /// beyond lands in the overflow counter.
+  Time d = 1;
+  /// Scheduling bound delta (echoed into exports).
+  Time delta = 1;
+  /// Cap on stored spread samples; beyond it, samples are counted as
+  /// dropped rather than stored (aggregates stay exact).
+  std::size_t max_samples = 1 << 20;
+  /// Cap on stored phase markers, same overflow policy.
+  std::size_t max_phase_markers = 1 << 16;
+};
+
+/// One point of the rumor-spread time-series: the global state at the end
+/// of step `time`. Steps in which no event and no probe fired are elided
+/// (the series is a right-continuous step function; consumers forward-fill).
+struct SpreadSample {
+  Time time = 0;
+  /// Sum over processes of the last |V(p)| each reported via probe_state.
+  /// Monotone: rumor sets only grow, and a crashed process keeps its last
+  /// report. The informed fraction is known_pairs / n^2.
+  std::uint64_t known_pairs = 0;
+  /// Processes whose last report had |V(p)| = n.
+  std::uint64_t full_processes = 0;
+  /// Sum over processes of their reported fully-informed rumor counts —
+  /// the progress-control measure L(p) empties against (0 for algorithms
+  /// without an informed list).
+  std::uint64_t informed_pairs_complete = 0;
+  /// Sent-but-undelivered messages addressed to live processes.
+  std::uint64_t in_flight = 0;
+  /// Cumulative sends / deliveries up to and including this step.
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+};
+
+/// One probe_phase report: process p announced `phase` at global step time.
+struct PhaseMarker {
+  Time time = 0;
+  ProcessId process = kNoProcess;
+  std::string phase;
+};
+
+/// Per-process event counters.
+struct ProcessTelemetry {
+  std::uint64_t steps = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t deliveries = 0;
+  bool crashed = false;
+  Time crash_time = kTimeMax;  // kTimeMax while alive
+};
+
+class TelemetryCollector final : public EngineObserver, public ProbeSink {
+ public:
+  explicit TelemetryCollector(const TelemetryConfig& config);
+
+  // EngineObserver (engine events).
+  void on_step(Time now, ProcessId p) override;
+  void on_send(const Envelope& env) override;
+  void on_delivery(const Envelope& env, Time now) override;
+  void on_crash(Time now, ProcessId p) override;
+
+  // ProbeSink (algorithm reports).
+  void on_phase(Time now, ProcessId p, const char* phase) override;
+  void on_state(Time now, ProcessId p, std::uint64_t rumors_known,
+                std::uint64_t rumors_fully_informed) override;
+
+  /// Closes the final spread sample and records the run length. Call after
+  /// the run; harness entry points that take GossipSpec::telemetry do.
+  void finalize(Time end_time);
+
+  // --- accumulated telemetry ---------------------------------------------
+  const TelemetryConfig& config() const { return config_; }
+  const std::vector<SpreadSample>& spread() const { return spread_; }
+  const std::vector<PhaseMarker>& phases() const { return phases_; }
+  const std::vector<ProcessTelemetry>& processes() const { return per_process_; }
+
+  /// Delivery-latency histogram: histogram()[k] counts deliveries whose
+  /// receipt latency is exactly k steps, k in [1, d + delta - 1] (index 0
+  /// is always zero).
+  const std::vector<std::uint64_t>& latency_histogram() const { return hist_; }
+  /// Deliveries with latency > d + delta - 1 (impossible in a conforming
+  /// run).
+  std::uint64_t latency_overflow() const { return hist_overflow_; }
+  /// Mean / max / count of all observed delivery latencies.
+  Summary latency_summary() const;
+
+  std::uint64_t sends_total() const { return sends_total_; }
+  std::uint64_t deliveries_total() const { return deliveries_total_; }
+  std::uint64_t steps_total() const { return steps_total_; }
+  std::uint64_t crashes_total() const { return crashes_total_; }
+
+  /// Current and peak in-flight gauge (peak over end-of-step samples).
+  std::uint64_t in_flight() const { return in_flight_; }
+  std::uint64_t max_in_flight() const { return max_in_flight_; }
+
+  /// Informed fraction of the latest sample, in [0, 1]: known pairs / n^2.
+  double informed_fraction() const;
+
+  /// End of the observed execution as passed to finalize() (0 before).
+  Time end_time() const { return end_time_; }
+  bool finalized() const { return finalized_; }
+
+  std::uint64_t samples_dropped() const { return samples_dropped_; }
+  std::uint64_t phase_markers_dropped() const { return phases_dropped_; }
+
+  /// Resets all accumulated state for reuse across runs.
+  void clear();
+
+ private:
+  /// Called from every event/probe handler: when `now` has moved past the
+  /// step currently being accumulated, close that step's sample.
+  void roll_to(Time now);
+  void push_sample(Time time);
+
+  TelemetryConfig config_;
+
+  // Spread series state.
+  std::vector<std::uint64_t> last_known_;      // last |V(p)| per process
+  std::vector<std::uint64_t> last_complete_;   // last fully-informed count
+  std::uint64_t known_pairs_ = 0;
+  std::uint64_t full_processes_ = 0;
+  std::uint64_t informed_pairs_complete_ = 0;
+  std::vector<SpreadSample> spread_;
+  std::uint64_t samples_dropped_ = 0;
+  Time open_step_ = 0;     // the step currently being accumulated
+  bool any_activity_ = false;
+  bool dirty_ = false;     // something happened since the last stored sample
+
+  // Latency histogram.
+  std::vector<std::uint64_t> hist_;  // index = latency, [1, d + delta - 1]
+  std::uint64_t hist_overflow_ = 0;
+  std::uint64_t latency_sum_ = 0;
+  double latency_sq_sum_ = 0.0;
+  Time latency_max_ = 0;
+
+  // Gauges and counters.
+  std::vector<std::uint64_t> pending_to_;
+  std::vector<bool> crashed_;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t max_in_flight_ = 0;
+  std::uint64_t sends_total_ = 0;
+  std::uint64_t deliveries_total_ = 0;
+  std::uint64_t steps_total_ = 0;
+  std::uint64_t crashes_total_ = 0;
+  std::vector<ProcessTelemetry> per_process_;
+
+  // Phase markers.
+  std::vector<PhaseMarker> phases_;
+  std::uint64_t phases_dropped_ = 0;
+
+  Time end_time_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace asyncgossip

@@ -1,0 +1,392 @@
+#include "sim/telemetry_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/telemetry.h"
+
+namespace asyncgossip {
+
+namespace {
+
+// JSON-safe numeric rendering: finite doubles via %.12g (integral values
+// come out without an exponent or trailing zeros), non-finite as 0 (JSON
+// has no inf/nan).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_telemetry_json(std::ostream& os, const TelemetryCollector& t,
+                          const TelemetryExportInfo& info) {
+  const TelemetryConfig& cfg = t.config();
+  os << "{\n  \"schema\": \"asyncgossip-telemetry-v1\",\n";
+
+  os << "  \"run\": {";
+  for (std::size_t i = 0; i < info.run.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << json_escape(info.run[i].first) << "\": \""
+       << json_escape(info.run[i].second) << '"';
+  }
+  os << "},\n";
+
+  os << "  \"summary\": {";
+  for (std::size_t i = 0; i < info.summary.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << json_escape(info.summary[i].first)
+       << "\": " << num(info.summary[i].second);
+  }
+  os << "},\n";
+
+  os << "  \"model\": {\"n\": " << num(std::uint64_t{cfg.n})
+     << ", \"d\": " << num(std::uint64_t{cfg.d})
+     << ", \"delta\": " << num(std::uint64_t{cfg.delta})
+     << ", \"end_time\": " << num(std::uint64_t{t.end_time()}) << "},\n";
+
+  os << "  \"totals\": {\"steps\": " << num(t.steps_total())
+     << ", \"sends\": " << num(t.sends_total())
+     << ", \"deliveries\": " << num(t.deliveries_total())
+     << ", \"crashes\": " << num(t.crashes_total())
+     << ", \"max_in_flight\": " << num(t.max_in_flight())
+     << ", \"final_in_flight\": " << num(t.in_flight())
+     << ", \"informed_fraction\": " << num(t.informed_fraction()) << "},\n";
+
+  const double nn =
+      static_cast<double>(cfg.n) * static_cast<double>(cfg.n);
+  os << "  \"spread\": [";
+  const auto& spread = t.spread();
+  for (std::size_t i = 0; i < spread.size(); ++i) {
+    const SpreadSample& s = spread[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"t\": " << num(std::uint64_t{s.time})
+       << ", \"known_pairs\": " << num(s.known_pairs)
+       << ", \"informed_fraction\": "
+       << num(static_cast<double>(s.known_pairs) / nn)
+       << ", \"full_processes\": " << num(s.full_processes)
+       << ", \"informed_pairs_complete\": " << num(s.informed_pairs_complete)
+       << ", \"in_flight\": " << num(s.in_flight)
+       << ", \"sent\": " << num(s.sent)
+       << ", \"delivered\": " << num(s.delivered) << "}";
+  }
+  os << "\n  ],\n";
+
+  const Summary lat = t.latency_summary();
+  os << "  \"latency_histogram\": {\"buckets\": [";
+  const auto& hist = t.latency_histogram();
+  bool first = true;
+  for (std::size_t k = 1; k < hist.size(); ++k) {
+    if (hist[k] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"latency\": " << num(std::uint64_t{k})
+       << ", \"count\": " << num(hist[k]) << "}";
+  }
+  os << "], \"overflow\": " << num(t.latency_overflow())
+     << ", \"total\": " << num(std::uint64_t{lat.count})
+     << ", \"mean\": " << num(lat.mean) << ", \"stddev\": " << num(lat.stddev)
+     << ", \"min\": " << num(lat.min) << ", \"median\": " << num(lat.median)
+     << ", \"max\": " << num(lat.max) << "},\n";
+
+  os << "  \"phases\": [";
+  const auto& phases = t.phases();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"t\": " << num(std::uint64_t{phases[i].time})
+       << ", \"process\": " << num(std::uint64_t{phases[i].process})
+       << ", \"phase\": \"" << json_escape(phases[i].phase) << "\"}";
+  }
+  os << "\n  ],\n";
+
+  os << "  \"processes\": [";
+  const auto& procs = t.processes();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const ProcessTelemetry& p = procs[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"id\": " << num(std::uint64_t{i})
+       << ", \"steps\": " << num(p.steps) << ", \"sends\": " << num(p.sends)
+       << ", \"deliveries\": " << num(p.deliveries)
+       << ", \"crashed\": " << (p.crashed ? "true" : "false")
+       << ", \"crash_time\": ";
+    if (p.crashed)
+      os << num(std::uint64_t{p.crash_time});
+    else
+      os << "null";
+    os << "}";
+  }
+  os << "\n  ],\n";
+
+  os << "  \"dropped\": {\"spread_samples\": " << num(t.samples_dropped())
+     << ", \"phase_markers\": " << num(t.phase_markers_dropped()) << "}\n";
+  os << "}\n";
+}
+
+void write_spread_csv(std::ostream& os, const TelemetryCollector& t) {
+  const double nn = static_cast<double>(t.config().n) *
+                    static_cast<double>(t.config().n);
+  os << "time,known_pairs,informed_fraction,full_processes,"
+        "informed_pairs_complete,in_flight,sent,delivered\n";
+  for (const SpreadSample& s : t.spread()) {
+    os << s.time << ',' << s.known_pairs << ','
+       << num(static_cast<double>(s.known_pairs) / nn) << ','
+       << s.full_processes << ',' << s.informed_pairs_complete << ','
+       << s.in_flight << ',' << s.sent << ',' << s.delivered << '\n';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// json_valid — a strict recursive-descent checker over the RFC 8259 grammar.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool run(std::string* error) {
+    ok_ = value();
+    skip_ws();
+    if (ok_ && pos_ != s_.size()) fail("trailing content after value");
+    if (!ok_ && error != nullptr) {
+      *error = err_ + " at byte " + std::to_string(pos_);
+    }
+    return ok_;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (ok_) err_ = what;
+    ok_ = false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, len, word) != 0) {
+      fail("bad literal");
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        fail("raw control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              fail("bad \\u escape");
+              return false;
+            }
+          }
+          ++pos_;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                   e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          fail("bad escape");
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (eat('0')) {
+      // no leading zeros
+    } else if (pos_ < s_.size() && std::isdigit(
+                   static_cast<unsigned char>(s_[pos_]))) {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    } else {
+      fail("expected digit");
+      return false;
+    }
+    if (eat('.')) {
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("expected fraction digits");
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("expected exponent digits");
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    bool result = false;
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+    } else if (s_[pos_] == '{') {
+      ++pos_;
+      skip_ws();
+      if (eat('}')) {
+        result = true;
+      } else {
+        while (true) {
+          skip_ws();
+          if (!string()) break;
+          skip_ws();
+          if (!eat(':')) {
+            fail("expected ':'");
+            break;
+          }
+          if (!value()) break;
+          skip_ws();
+          if (eat(',')) continue;
+          if (eat('}')) {
+            result = true;
+          } else {
+            fail("expected ',' or '}'");
+          }
+          break;
+        }
+      }
+    } else if (s_[pos_] == '[') {
+      ++pos_;
+      skip_ws();
+      if (eat(']')) {
+        result = true;
+      } else {
+        while (true) {
+          if (!value()) break;
+          skip_ws();
+          if (eat(',')) continue;
+          if (eat(']')) {
+            result = true;
+          } else {
+            fail("expected ',' or ']'");
+          }
+          break;
+        }
+      }
+    } else if (s_[pos_] == '"') {
+      result = string();
+    } else if (s_[pos_] == 't') {
+      result = literal("true");
+    } else if (s_[pos_] == 'f') {
+      result = literal("false");
+    } else if (s_[pos_] == 'n') {
+      result = literal("null");
+    } else {
+      result = number();
+    }
+    --depth_;
+    return result && ok_;
+  }
+
+  static constexpr int kMaxDepth = 256;
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool ok_ = true;
+  std::string err_;
+};
+
+}  // namespace
+
+bool json_valid(const std::string& text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,55 @@
+// Structured exporters for run telemetry (sim/telemetry.h).
+//
+// Two formats: a self-describing JSON document ("asyncgossip-telemetry-v1",
+// full field reference in docs/OBSERVABILITY.md) for `gossiplab report` and
+// CI artifacts, and a flat CSV of the spread time-series for plotting. The
+// writers are dependency-free; json_valid() is a strict standalone JSON
+// syntax checker used by the tests' round-trip checks, so the repo can
+// verify its own artifacts without a JSON library.
+//
+// Layering note: sim/ cannot see gossip-level types (GossipOutcome etc.),
+// so run identity and end-of-run summaries arrive as generic key/value
+// sections filled by the caller (the harness or gossiplab).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace asyncgossip {
+
+class TelemetryCollector;
+
+/// Caller-supplied context echoed into the JSON document.
+struct TelemetryExportInfo {
+  /// String fields for the "run" object, e.g. {"algorithm", "ears"},
+  /// {"schedule", "lockstep"}. Numeric spec fields (n, f, d, delta, seed)
+  /// belong in `summary`.
+  std::vector<std::pair<std::string, std::string>> run;
+  /// Numeric fields for the "summary" object, e.g. the GossipOutcome:
+  /// {"completed", 1}, {"completion_time", 42}, {"messages", 930}.
+  std::vector<std::pair<std::string, double>> summary;
+};
+
+/// Writes the full telemetry JSON document: schema tag, run/summary echo,
+/// spread time-series, latency histogram, phase markers, per-process
+/// counters, and gauges.
+void write_telemetry_json(std::ostream& os, const TelemetryCollector& t,
+                          const TelemetryExportInfo& info);
+
+/// Writes the spread time-series as CSV with a header row:
+/// time,known_pairs,informed_fraction,full_processes,informed_pairs_complete,
+/// in_flight,sent,delivered
+void write_spread_csv(std::ostream& os, const TelemetryCollector& t);
+
+/// Strict JSON syntax check (RFC 8259 grammar, UTF-8 escapes unvalidated).
+/// On failure returns false and, when `error` is non-null, stores a short
+/// description with the byte offset.
+bool json_valid(const std::string& text, std::string* error = nullptr);
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace asyncgossip

@@ -1,0 +1,293 @@
+// Tests for the run-telemetry subsystem (sim/telemetry.h) and its
+// exporters (sim/telemetry_export.h): the observer/probe contract
+// (attaching telemetry never changes a run), spread-series monotonicity,
+// histogram accounting against the engine's own metrics, and JSON/CSV
+// export validity.
+#include "sim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gossip/completion.h"
+#include "gossip/harness.h"
+#include "sim/telemetry_export.h"
+
+namespace asyncgossip {
+namespace {
+
+GossipSpec small_spec(GossipAlgorithm alg = GossipAlgorithm::kEars) {
+  GossipSpec spec;
+  spec.algorithm = alg;
+  spec.n = 32;
+  spec.f = 8;
+  spec.d = 3;
+  spec.delta = 2;
+  spec.seed = 7;
+  spec.schedule = SchedulePattern::kStaggered;
+  spec.delay = DelayPattern::kUniform;
+  return spec;
+}
+
+TEST(Telemetry, ConfigValidation) {
+  TelemetryConfig cfg;
+  EXPECT_THROW(TelemetryCollector{cfg}, ApiError);  // n == 0
+  cfg.n = 4;
+  cfg.d = 0;
+  EXPECT_THROW(TelemetryCollector{cfg}, ApiError);
+  cfg.d = 1;
+  cfg.delta = 0;
+  EXPECT_THROW(TelemetryCollector{cfg}, ApiError);
+  cfg.delta = 1;
+  EXPECT_NO_THROW(TelemetryCollector{cfg});
+}
+
+TEST(Telemetry, AttachingNeverPerturbsTheRun) {
+  for (const GossipAlgorithm alg :
+       {GossipAlgorithm::kEars, GossipAlgorithm::kTears,
+        GossipAlgorithm::kSync}) {
+    const GossipSpec spec = small_spec(alg);
+    const Time budget = default_step_budget(spec);
+
+    Engine plain = make_gossip_engine(spec);
+    const GossipOutcome base = run_gossip(plain, budget);
+
+    Engine observed = make_gossip_engine(spec);
+    TelemetryCollector telemetry(telemetry_config(spec));
+    observed.add_observer(&telemetry);
+    observed.set_probe_sink(&telemetry);
+    const GossipOutcome traced = run_gossip(observed, budget);
+    telemetry.finalize(observed.now());
+
+    EXPECT_EQ(plain.trace_hash(), observed.trace_hash()) << to_string(alg);
+    EXPECT_EQ(base.completed, traced.completed);
+    EXPECT_EQ(base.completion_time, traced.completion_time);
+    EXPECT_EQ(base.messages, traced.messages);
+    EXPECT_EQ(base.bytes, traced.bytes);
+    EXPECT_EQ(plain.metrics().messages_sent(),
+              observed.metrics().messages_sent());
+    EXPECT_EQ(plain.metrics().messages_delivered(),
+              observed.metrics().messages_delivered());
+  }
+}
+
+TEST(Telemetry, SpreadSeriesIsMonotone) {
+  GossipSpec spec = small_spec();
+  TelemetryCollector telemetry(telemetry_config(spec));
+  spec.telemetry = &telemetry;
+  const GossipOutcome out = run_gossip_spec(spec);
+  ASSERT_TRUE(out.completed);
+  ASSERT_TRUE(telemetry.finalized());
+
+  const auto& spread = telemetry.spread();
+  ASSERT_FALSE(spread.empty());
+  for (std::size_t i = 1; i < spread.size(); ++i) {
+    EXPECT_LT(spread[i - 1].time, spread[i].time);
+    EXPECT_LE(spread[i - 1].known_pairs, spread[i].known_pairs);
+    EXPECT_LE(spread[i - 1].sent, spread[i].sent);
+    EXPECT_LE(spread[i - 1].delivered, spread[i].delivered);
+  }
+  // Under staggered scheduling only a subset of processes steps (and hence
+  // probes) at time 0, but whoever did already knows its own rumor; the
+  // informed fraction never exceeds 1.
+  EXPECT_GE(spread.front().known_pairs, 1u);
+  EXPECT_LE(spread.front().known_pairs,
+            static_cast<std::uint64_t>(spec.n) * spec.n);
+  EXPECT_LE(telemetry.informed_fraction(), 1.0);
+  // This run completed with gathering intact: everyone correct got all.
+  EXPECT_TRUE(out.gathering_ok);
+  EXPECT_GE(telemetry.spread().back().full_processes, out.alive);
+  EXPECT_EQ(telemetry.samples_dropped(), 0u);
+}
+
+TEST(Telemetry, HistogramMatchesEngineMetrics) {
+  const GossipSpec spec = small_spec();
+  Engine engine = make_gossip_engine(spec);
+  TelemetryCollector telemetry(telemetry_config(spec));
+  engine.add_observer(&telemetry);
+  engine.set_probe_sink(&telemetry);
+  const GossipOutcome out = run_gossip(engine, default_step_budget(spec));
+  ASSERT_TRUE(out.completed);
+  telemetry.finalize(engine.now());
+
+  // Histogram totals are exactly the engine's delivery count, with every
+  // receipt latency inside [1, d + delta - 1] (d steps in the network plus
+  // up to delta - 1 until the recipient's next step).
+  std::uint64_t hist_total = 0;
+  const auto& hist = telemetry.latency_histogram();
+  EXPECT_EQ(hist.size(), static_cast<std::size_t>(spec.d + spec.delta));
+  EXPECT_EQ(hist[0], 0u);
+  for (std::uint64_t count : hist) hist_total += count;
+  EXPECT_EQ(telemetry.latency_overflow(), 0u);
+  EXPECT_EQ(hist_total, engine.metrics().messages_delivered());
+  EXPECT_EQ(telemetry.deliveries_total(), engine.metrics().messages_delivered());
+  EXPECT_EQ(telemetry.sends_total(), engine.metrics().messages_sent());
+
+  const Summary lat = telemetry.latency_summary();
+  EXPECT_EQ(lat.count, hist_total);
+  EXPECT_GE(lat.mean, 1.0);
+  EXPECT_LE(lat.max, static_cast<double>(spec.d + spec.delta - 1));
+  EXPECT_LE(lat.min, lat.median);
+  EXPECT_LE(lat.median, lat.max);
+
+  // Per-process counters agree with the Metrics ledger.
+  std::uint64_t steps = 0, sends = 0, deliveries = 0;
+  const auto& procs = telemetry.processes();
+  ASSERT_EQ(procs.size(), spec.n);
+  for (ProcessId p = 0; p < engine.n(); ++p) {
+    steps += procs[p].steps;
+    sends += procs[p].sends;
+    deliveries += procs[p].deliveries;
+    EXPECT_EQ(procs[p].sends, engine.metrics().messages_sent_by(p));
+    EXPECT_EQ(procs[p].deliveries, engine.metrics().messages_received_by(p));
+    EXPECT_EQ(procs[p].crashed, engine.crashed(p));
+  }
+  EXPECT_EQ(sends, telemetry.sends_total());
+  EXPECT_EQ(deliveries, telemetry.deliveries_total());
+  EXPECT_EQ(steps, telemetry.steps_total());
+  EXPECT_EQ(telemetry.crashes_total(), out.crashes);
+
+  // The in-flight gauge peaks somewhere and drains by quiescence.
+  EXPECT_GT(telemetry.max_in_flight(), 0u);
+  EXPECT_EQ(telemetry.in_flight(), 0u);
+  EXPECT_EQ(telemetry.max_in_flight(), engine.metrics().max_in_flight());
+}
+
+TEST(Telemetry, PhaseMarkersFollowTheEarsLifecycle) {
+  GossipSpec spec = small_spec();
+  TelemetryCollector telemetry(telemetry_config(spec));
+  spec.telemetry = &telemetry;
+  const GossipOutcome out = run_gossip_spec(spec);
+  ASSERT_TRUE(out.completed);
+
+  const auto& phases = telemetry.phases();
+  ASSERT_FALSE(phases.empty());
+  bool saw_epidemic = false, saw_shutdown = false;
+  Time last_time = 0;
+  for (const PhaseMarker& m : phases) {
+    EXPECT_LT(m.process, spec.n);
+    EXPECT_GE(m.time, last_time);  // markers arrive in time order
+    last_time = m.time;
+    if (m.phase == "epidemic") saw_epidemic = true;
+    if (m.phase == "shutdown") saw_shutdown = true;
+  }
+  // Every process opens in the epidemic phase at its first step, and a
+  // completed run means progress control fired somewhere.
+  EXPECT_EQ(phases.front().phase, "epidemic");
+  EXPECT_TRUE(saw_epidemic);
+  EXPECT_TRUE(saw_shutdown);
+  EXPECT_EQ(telemetry.phase_markers_dropped(), 0u);
+}
+
+TEST(Telemetry, AuditedRunWithTelemetryStaysClean) {
+  GossipSpec spec = small_spec(GossipAlgorithm::kTears);
+  TelemetryCollector telemetry(telemetry_config(spec));
+  spec.telemetry = &telemetry;
+  const AuditedGossipOutcome audited = run_audited_gossip_spec(spec);
+  EXPECT_TRUE(audited.outcome.completed);
+  EXPECT_TRUE(audited.audit.ok()) << audited.audit.summary();
+  EXPECT_GT(telemetry.deliveries_total(), 0u);
+}
+
+TEST(Telemetry, ClearResetsEverything) {
+  GossipSpec spec = small_spec();
+  TelemetryCollector telemetry(telemetry_config(spec));
+  spec.telemetry = &telemetry;
+  ASSERT_TRUE(run_gossip_spec(spec).completed);
+  ASSERT_FALSE(telemetry.spread().empty());
+  telemetry.clear();
+  EXPECT_TRUE(telemetry.spread().empty());
+  EXPECT_TRUE(telemetry.phases().empty());
+  EXPECT_EQ(telemetry.sends_total(), 0u);
+  EXPECT_EQ(telemetry.max_in_flight(), 0u);
+  EXPECT_FALSE(telemetry.finalized());
+  EXPECT_EQ(telemetry.informed_fraction(), 0.0);
+
+  // The collector is reusable: a second identical run accumulates afresh.
+  const GossipOutcome out = run_gossip_spec(spec);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(telemetry.sends_total(), out.messages);
+}
+
+TEST(TelemetryExport, JsonReportIsValidAndComplete) {
+  GossipSpec spec = small_spec();
+  TelemetryCollector telemetry(telemetry_config(spec));
+  spec.telemetry = &telemetry;
+  const GossipOutcome out = run_gossip_spec(spec);
+  ASSERT_TRUE(out.completed);
+
+  TelemetryExportInfo info;
+  info.run = {{"algorithm", to_string(spec.algorithm)}};
+  info.summary = {{"completed", 1.0},
+                  {"messages", static_cast<double>(out.messages)}};
+  std::ostringstream os;
+  write_telemetry_json(os, telemetry, info);
+  const std::string doc = os.str();
+
+  std::string error;
+  EXPECT_TRUE(json_valid(doc, &error)) << error;
+  for (const char* needle :
+       {"\"schema\": \"asyncgossip-telemetry-v1\"", "\"algorithm\": \"ears\"",
+        "\"spread\"", "\"latency_histogram\"", "\"phases\"", "\"processes\"",
+        "\"totals\"", "\"informed_fraction\"", "\"max_in_flight\""}) {
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(TelemetryExport, JsonReportIsDeterministic) {
+  auto render = [] {
+    GossipSpec spec = small_spec();
+    TelemetryCollector telemetry(telemetry_config(spec));
+    spec.telemetry = &telemetry;
+    EXPECT_TRUE(run_gossip_spec(spec).completed);
+    std::ostringstream os;
+    write_telemetry_json(os, telemetry, TelemetryExportInfo{});
+    return os.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(TelemetryExport, SpreadCsvHasHeaderAndOneRowPerSample) {
+  GossipSpec spec = small_spec();
+  TelemetryCollector telemetry(telemetry_config(spec));
+  spec.telemetry = &telemetry;
+  ASSERT_TRUE(run_gossip_spec(spec).completed);
+
+  std::ostringstream os;
+  write_spread_csv(os, telemetry);
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("time,known_pairs,informed_fraction", 0), 0u);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, telemetry.spread().size());
+}
+
+TEST(TelemetryExport, JsonValidatorAcceptsAndRejects) {
+  for (const char* good :
+       {"{}", "[]", "null", "true", "-12.5e3", "\"a\\nb\\u00e9\"",
+        "{\"k\": [1, 2, {\"x\": null}], \"m\": \"v\"}", "  [0.5, 1e9]  "}) {
+    std::string error;
+    EXPECT_TRUE(json_valid(good, &error)) << good << ": " << error;
+  }
+  for (const char* bad :
+       {"", "{", "}", "[1,]", "{\"k\":}", "{'k': 1}", "01", "1.", "+1",
+        "nul", "\"unterminated", "\"bad\\q\"", "[1] trailing", "{\"a\" 1}",
+        "\"ctrl\tchar\""}) {
+    EXPECT_FALSE(json_valid(bad)) << bad;
+  }
+  std::string error;
+  EXPECT_FALSE(json_valid("[1,", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TelemetryExport, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace asyncgossip

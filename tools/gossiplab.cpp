@@ -6,6 +6,9 @@
 //   consensus  run one consensus execution
 //   lowerbound run the Theorem 1 adaptive adversary against an algorithm
 //   trace      run a small gossip execution and print its ASCII timeline
+//   report     run one gossip execution with telemetry, print the JSON report
+//
+// Every subcommand understands --help; unknown flags are rejected.
 //
 // Examples:
 //   gossiplab gossip --alg ears --n 256 --f 64 --d 4 --delta 3 --seed 1
@@ -15,18 +18,24 @@
 //   gossiplab trace --alg ears --n 16 --f 4 --steps 96
 //   gossiplab trace --alg ears --n 16 --f 4 --record run.trace
 //   gossiplab gossip --alg tears --n 128 --f 32 --audit
+//   gossiplab report --algorithm ears --n 64 --f 16
+//   gossiplab report --alg tears --n 128 --f 32 --out run.json --spread-csv spread.csv
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <initializer_list>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "consensus/canetti_rabin.h"
 #include "gossip/harness.h"
 #include "lowerbound/adaptive.h"
+#include "sim/telemetry.h"
+#include "sim/telemetry_export.h"
 #include "sim/trace.h"
 
 using namespace asyncgossip;
@@ -52,6 +61,53 @@ Flags parse_flags(int argc, char** argv, int first) {
   }
   return flags;
 }
+
+/// Rejects flags the subcommand does not understand (exit 2, naming the
+/// offending flag). Every allow-list implicitly contains "help".
+void check_flags(const char* cmd, const Flags& flags,
+                 std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : flags) {
+    (void)value;
+    if (key == "help") continue;
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "gossiplab %s: unknown flag --%s (try: gossiplab %s --help)\n",
+                   cmd, key.c_str(), cmd);
+      std::exit(2);
+    }
+  }
+}
+
+// Shared model/algorithm flags consumed by spec_from_flags.
+#define SPEC_FLAG_LIST                                                      \
+  "alg", "algorithm", "n", "f", "d", "delta", "seed", "schedule", "delay",  \
+      "crash-horizon", "epsilon", "shutdown-c", "tears-a", "tears-kappa",   \
+      "lazy-fanout", "max-steps", "audit"
+
+constexpr const char* kSpecFlagHelp =
+    "  model/algorithm flags (shared by gossip runs):\n"
+    "    --alg NAME          algorithm: trivial|ears|sears|tears|sync|\n"
+    "                        ears-no-informed-list|lazy|round-robin (default ears)\n"
+    "    --algorithm NAME    alias for --alg\n"
+    "    --n N --f F         processes / crash budget (default 64, n/4)\n"
+    "    --d D --delta DD    delivery / scheduling bounds (default 1, 1)\n"
+    "    --seed S            RNG seed (default 1)\n"
+    "    --schedule NAME     lockstep|staggered|random|rotating|straggler\n"
+    "    --delay NAME        unit|max|uniform|bimodal|targeted\n"
+    "    --crash-horizon T   crash times drawn in [0, T) (default 64)\n"
+    "    --epsilon E         SEARS fanout exponent (default 0.5)\n"
+    "    --shutdown-c C      EARS shutdown constant (default 4.0)\n"
+    "    --tears-a C --tears-kappa C   TEARS constants (default 1.0)\n"
+    "    --lazy-fanout K     lazy-gossip fanout (default 2)\n"
+    "    --max-steps T       step budget, 0 = automatic\n"
+    "    --audit             attach the invariant auditor; violations abort\n";
 
 std::uint64_t get_u64(const Flags& f, const std::string& key,
                       std::uint64_t fallback) {
@@ -131,7 +187,9 @@ DelayPattern parse_delay(const std::string& name) {
 
 GossipSpec spec_from_flags(const Flags& f) {
   GossipSpec spec;
-  spec.algorithm = parse_algorithm(get_str(f, "alg", "ears"));
+  // --algorithm is an alias for --alg; --alg wins when both are given.
+  spec.algorithm =
+      parse_algorithm(get_str(f, "alg", get_str(f, "algorithm", "ears")));
   spec.n = get_u64(f, "n", 64);
   spec.f = get_u64(f, "f", spec.n / 4);
   spec.d = get_u64(f, "d", 1);
@@ -170,6 +228,14 @@ void print_gossip_csv(const GossipSpec& spec, const GossipOutcome& out) {
 }
 
 int cmd_gossip(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf("usage: gossiplab gossip [flags]\n"
+                "run one gossip execution and print a human summary\n"
+                "    --csv               print a CSV header + row instead\n%s",
+                kSpecFlagHelp);
+    return 0;
+  }
+  check_flags("gossip", f, {SPEC_FLAG_LIST, "csv"});
   const GossipSpec spec = spec_from_flags(f);
   const GossipOutcome out = run_gossip_spec(spec);
   if (has_flag(f, "csv")) {
@@ -200,6 +266,16 @@ int cmd_gossip(const Flags& f) {
 }
 
 int cmd_sweep(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf("usage: gossiplab sweep [flags]\n"
+                "run an algorithm over a list of n values, CSV to stdout\n"
+                "    --n N1,N2,...       population sizes (default 64,128,256)\n"
+                "    --fpct P            crash budget as %% of n (default 25)\n"
+                "    --seeds K           seeds per size (default 3)\n%s",
+                kSpecFlagHelp);
+    return 0;
+  }
+  check_flags("sweep", f, {SPEC_FLAG_LIST, "fpct", "seeds", "csv"});
   const auto ns = parse_list(get_str(f, "n", "64,128,256"));
   const std::uint64_t fpct = get_u64(f, "fpct", 25);
   const std::uint64_t seeds = get_u64(f, "seeds", 3);
@@ -218,6 +294,20 @@ int cmd_sweep(const Flags& f) {
 }
 
 int cmd_consensus(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab consensus [flags]\n"
+        "run one Canetti-Rabin consensus execution\n"
+        "    --exchange NAME     all-to-all|cr|ears|sears|tears (default tears)\n"
+        "    --n N --f F         processes / crash budget (default 64, n/2-1)\n"
+        "    --inputs NAME       random|zero|one|half (default random)\n"
+        "    --d D --delta DD --seed S --schedule NAME --delay NAME\n"
+        "    --epsilon E --tears-a C --tears-kappa C\n");
+    return 0;
+  }
+  check_flags("consensus", f,
+              {"exchange", "n", "f", "inputs", "d", "delta", "seed", "schedule",
+               "delay", "epsilon", "tears-a", "tears-kappa"});
   ConsensusSpec spec;
   spec.config.n = get_u64(f, "n", 64);
   spec.config.f = get_u64(f, "f", spec.config.n / 2 - 1);
@@ -259,6 +349,14 @@ int cmd_consensus(const Flags& f) {
 }
 
 int cmd_lowerbound(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf("usage: gossiplab lowerbound [flags]\n"
+                "run the Theorem 1 adaptive adversary against an algorithm\n"
+                "(omit --n to get the canonical n = 4f population)\n%s",
+                kSpecFlagHelp);
+    return 0;
+  }
+  check_flags("lowerbound", f, {SPEC_FLAG_LIST});
   LowerBoundConfig cfg;
   cfg.spec = spec_from_flags(f);
   cfg.spec.ears_shutdown_constant = get_double(f, "shutdown-c", 2.0);
@@ -289,6 +387,15 @@ int cmd_lowerbound(const Flags& f) {
 }
 
 int cmd_trace(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf("usage: gossiplab trace [flags]\n"
+                "run a small gossip execution and print its ASCII timeline\n"
+                "    --steps T           step budget (default 96)\n"
+                "    --record PATH       write the event trace to PATH instead\n%s",
+                kSpecFlagHelp);
+    return 0;
+  }
+  check_flags("trace", f, {SPEC_FLAG_LIST, "steps", "record"});
   GossipSpec spec = spec_from_flags(f);
   Engine engine = make_gossip_engine(spec);
   TraceRecorder trace;
@@ -322,11 +429,85 @@ int cmd_trace(const Flags& f) {
   return 0;
 }
 
+int cmd_report(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab report [flags]\n"
+        "run one gossip execution with telemetry attached and print the\n"
+        "asyncgossip-telemetry-v1 JSON report (schema: docs/OBSERVABILITY.md)\n"
+        "    --out PATH          write the JSON report to PATH\n"
+        "    --spread-csv PATH   also write the spread time-series as CSV\n%s",
+        kSpecFlagHelp);
+    return 0;
+  }
+  check_flags("report", f, {SPEC_FLAG_LIST, "out", "spread-csv"});
+  GossipSpec spec = spec_from_flags(f);
+  TelemetryCollector telemetry(telemetry_config(spec));
+  spec.telemetry = &telemetry;
+  const GossipOutcome out = run_gossip_spec(spec);
+
+  TelemetryExportInfo info;
+  info.run = {{"tool", "gossiplab report"},
+              {"algorithm", to_string(spec.algorithm)},
+              {"schedule", to_string(spec.schedule)},
+              {"delay", to_string(spec.delay)}};
+  info.summary = {
+      {"n", (double)spec.n},
+      {"f", (double)spec.f},
+      {"d", (double)spec.d},
+      {"delta", (double)spec.delta},
+      {"seed", (double)spec.seed},
+      {"completed", out.completed ? 1.0 : 0.0},
+      {"completion_time", (double)out.completion_time},
+      {"detection_time", (double)out.detection_time},
+      {"steps_per_d_plus_delta",
+       (double)out.completion_time / (double)(spec.d + spec.delta)},
+      {"messages", (double)out.messages},
+      {"bytes", (double)out.bytes},
+      {"gathering_ok", out.gathering_ok ? 1.0 : 0.0},
+      {"majority_ok", out.majority_ok ? 1.0 : 0.0},
+      {"alive", (double)out.alive},
+  };
+
+  std::ostringstream doc;
+  write_telemetry_json(doc, telemetry, info);
+  std::string json_err;
+  if (!json_valid(doc.str(), &json_err)) {
+    std::fprintf(stderr, "internal error: report is not valid JSON: %s\n",
+                 json_err.c_str());
+    return 3;
+  }
+  if (has_flag(f, "out")) {
+    const std::string path = get_str(f, "out", "report.json");
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 2;
+    }
+    os << doc.str();
+    std::fprintf(stderr, "wrote telemetry report to %s\n", path.c_str());
+  } else {
+    std::fputs(doc.str().c_str(), stdout);
+  }
+  if (has_flag(f, "spread-csv")) {
+    const std::string path = get_str(f, "spread-csv", "spread.csv");
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 2;
+    }
+    write_spread_csv(os, telemetry);
+    std::fprintf(stderr, "wrote spread time-series to %s\n", path.c_str());
+  }
+  return out.completed ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: gossiplab <gossip|sweep|consensus|lowerbound|trace> "
-               "[--flag value ...]\n"
-               "see tools/gossiplab.cpp header for examples\n");
+               "usage: gossiplab <gossip|sweep|consensus|lowerbound|trace|"
+               "report> [--flag value ...]\n"
+               "run `gossiplab <subcommand> --help` for flags, or see the\n"
+               "tools/gossiplab.cpp header for examples\n");
 }
 
 }  // namespace
@@ -344,6 +525,12 @@ int main(int argc, char** argv) {
     if (cmd == "consensus") return cmd_consensus(flags);
     if (cmd == "lowerbound") return cmd_lowerbound(flags);
     if (cmd == "trace") return cmd_trace(flags);
+    if (cmd == "report") return cmd_report(flags);
+    if (cmd == "--help" || cmd == "help") {
+      usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gossiplab: %s\n", e.what());
     return 3;
