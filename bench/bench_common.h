@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,7 +29,9 @@ namespace asyncgossip::bench {
 
 /// Accumulates (case name, user counters) rows and writes them as JSON at
 /// static-destruction time — benchmark_main owns main(), so process exit is
-/// the only hook every binary shares.
+/// the only hook every binary shares. The document itself comes from
+/// write_bench_json (sim/telemetry_export.h), the same writer `gossiplab
+/// sweep --json` uses.
 class BenchReport {
  public:
   static BenchReport& instance() {
@@ -46,37 +49,17 @@ class BenchReport {
   ~BenchReport() {
     const char* path = std::getenv("AG_BENCH_JSON");
     if (path == nullptr || path[0] == '\0' || cases_.empty()) return;
-    std::FILE* out = std::fopen(path, "w");
-    if (out == nullptr) {
+    std::ofstream out(path);
+    if (!out) {
       std::fprintf(stderr, "AG_BENCH_JSON: cannot open %s for writing\n", path);
       return;
     }
-    std::fprintf(out, "{\n  \"schema\": \"asyncgossip-bench-v1\",\n");
-    std::fprintf(out, "  \"suite\": \"%s\",\n", json_escape(suite_).c_str());
-    std::fprintf(out, "  \"cases\": [");
-    for (std::size_t i = 0; i < cases_.size(); ++i) {
-      std::fprintf(out, "%s    {\"name\": \"%s\", \"counters\": {",
-                   i == 0 ? "\n" : ",\n",
-                   json_escape(cases_[i].name).c_str());
-      const auto& counters = cases_[i].counters;
-      for (std::size_t c = 0; c < counters.size(); ++c) {
-        std::fprintf(out, "%s\"%s\": %.12g", c == 0 ? "" : ", ",
-                     json_escape(counters[c].first).c_str(),
-                     counters[c].second);
-      }
-      std::fprintf(out, "}}");
-    }
-    std::fprintf(out, "\n  ]\n}\n");
-    std::fclose(out);
+    write_bench_json(out, suite_, cases_);
   }
 
  private:
-  struct Case {
-    std::string name;
-    std::vector<std::pair<std::string, double>> counters;
-  };
   std::string suite_ = "bench";
-  std::vector<Case> cases_;
+  std::vector<BenchCaseRow> cases_;
 };
 
 /// Snapshots a finished case's user counters into the report under `label`
@@ -92,13 +75,8 @@ inline void record_case(const benchmark::State& state,
   BenchReport::instance().add_case(label, std::move(counters));
 }
 
-/// Canonical case label for a gossip spec: "ears/n:256/f:64/d:4/delta:3".
-inline std::string spec_label(const GossipSpec& spec) {
-  return std::string(to_string(spec.algorithm)) + "/n:" +
-         std::to_string(spec.n) + "/f:" + std::to_string(spec.f) +
-         "/d:" + std::to_string(spec.d) +
-         "/delta:" + std::to_string(spec.delta);
-}
+// Case labels come from asyncgossip::spec_label (gossip/harness.h) so the
+// bench report and `gossiplab sweep` name the same experiment identically.
 
 /// Declares the binary's suite name for the AG_BENCH_JSON report. Place one
 /// at namespace scope in each bench_*.cpp.
@@ -139,6 +117,53 @@ class GossipAccumulator {
   int gatherings_ = 0;
   int majorities_ = 0;
 };
+
+/// Worker count for run_gossip_case: AG_BENCH_JOBS in the environment, or 1
+/// (sequential) when unset. Parallelism never changes the reported metrics
+/// — iteration seeds are assigned identically on both paths.
+inline std::size_t bench_jobs() {
+  const char* env = std::getenv("AG_BENCH_JOBS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  const std::uint64_t jobs = std::strtoull(env, nullptr, 10);
+  return jobs == 0 ? 1 : static_cast<std::size_t>(jobs);
+}
+
+/// The standard gossip bench loop: one run per iteration with consecutive
+/// seeds starting at `seed_base`, metrics accumulated and flushed under
+/// spec_label(spec). With AG_BENCH_JOBS > 1 all iterations run as a single
+/// run_gossip_sweep batch on the first pass (the outcomes — and therefore
+/// every reported counter — are bit-identical to the sequential path; only
+/// wall time changes, which these benches treat as incidental).
+inline void run_gossip_case(benchmark::State& state, GossipSpec spec,
+                            std::uint64_t seed_base = 10007) {
+  const std::size_t jobs = bench_jobs();
+  GossipAccumulator acc;
+  std::vector<GossipSweepResult> batch;
+  std::size_t batch_index = 0;
+  std::uint64_t seed = seed_base;
+  for (auto _ : state) {
+    GossipOutcome out;
+    if (jobs > 1) {
+      if (batch.empty()) {
+        std::vector<GossipSpec> specs(state.max_iterations, spec);
+        for (GossipSpec& s : specs) s.seed = seed++;
+        batch = run_gossip_sweep(specs, jobs);
+      }
+      out = batch[batch_index++].outcome;
+    } else {
+      spec.seed = seed++;
+      out = run_gossip_spec(spec);
+    }
+    if (!out.completed) {
+      state.SkipWithError("run did not quiesce within the step budget");
+      return;
+    }
+    acc.add(out);
+    benchmark::DoNotOptimize(out.messages);
+  }
+  acc.flush(state, static_cast<double>(spec.n),
+            static_cast<double>(spec.d + spec.delta), spec_label(spec));
+}
 
 inline GossipSpec base_spec(GossipAlgorithm alg, std::size_t n, std::size_t f,
                             Time d, Time delta) {

@@ -23,26 +23,12 @@ namespace {
 
 constexpr int kIterations = 3;
 
-void run_case(benchmark::State& state, GossipSpec spec) {
-  GossipAccumulator acc;
-  std::uint64_t seed = 10007;
-  for (auto _ : state) {
-    spec.seed = seed++;
-    const GossipOutcome out = run_gossip_spec(spec);
-    if (!out.completed) {
-      state.SkipWithError("run did not quiesce within the step budget");
-      return;
-    }
-    acc.add(out);
-    benchmark::DoNotOptimize(out.messages);
-  }
-  acc.flush(state, static_cast<double>(spec.n),
-            static_cast<double>(spec.d + spec.delta), spec_label(spec));
-}
+// The per-case loop is the shared run_gossip_case (bench_common.h): one run
+// per iteration, consecutive seeds, AG_BENCH_JOBS-aware.
 
 void BM_Trivial(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  run_case(state, base_spec(GossipAlgorithm::kTrivial, n,
+  run_gossip_case(state, base_spec(GossipAlgorithm::kTrivial, n,
                             n * static_cast<std::size_t>(state.range(1)) / 100,
                             static_cast<Time>(state.range(2)),
                             static_cast<Time>(state.range(3))));
@@ -50,7 +36,7 @@ void BM_Trivial(benchmark::State& state) {
 
 void BM_Ears(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  run_case(state, base_spec(GossipAlgorithm::kEars, n,
+  run_gossip_case(state, base_spec(GossipAlgorithm::kEars, n,
                             n * static_cast<std::size_t>(state.range(1)) / 100,
                             static_cast<Time>(state.range(2)),
                             static_cast<Time>(state.range(3))));
@@ -63,7 +49,7 @@ void BM_SearsQuarter(benchmark::State& state) {
       n * static_cast<std::size_t>(state.range(1)) / 100,
       static_cast<Time>(state.range(2)), static_cast<Time>(state.range(3)));
   spec.sears_epsilon = 0.25;
-  run_case(state, spec);
+  run_gossip_case(state, spec);
 }
 
 void BM_SearsHalf(benchmark::State& state) {
@@ -73,7 +59,7 @@ void BM_SearsHalf(benchmark::State& state) {
       n * static_cast<std::size_t>(state.range(1)) / 100,
       static_cast<Time>(state.range(2)), static_cast<Time>(state.range(3)));
   spec.sears_epsilon = 0.5;
-  run_case(state, spec);
+  run_gossip_case(state, spec);
 }
 
 void BM_Tears(benchmark::State& state) {
@@ -85,7 +71,7 @@ void BM_Tears(benchmark::State& state) {
   // Scaled-down multipliers so a < n at simulable sizes (EXPERIMENTS.md).
   spec.tears_a_constant = 1.0;
   spec.tears_kappa_constant = 1.0;
-  run_case(state, spec);
+  run_gossip_case(state, spec);
 }
 
 // CK [9] stand-in: runs in its native synchronous model (d = delta = 1
@@ -95,7 +81,7 @@ void BM_Sync(benchmark::State& state) {
   GossipSpec spec =
       base_spec(GossipAlgorithm::kSync, n,
                 n * static_cast<std::size_t>(state.range(1)) / 100, 1, 1);
-  run_case(state, spec);
+  run_gossip_case(state, spec);
 }
 
 const std::vector<std::vector<std::int64_t>> kGrid = {

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "gossip/epidemic.h"
+#include "sim/sweep.h"
 #include "sim/telemetry.h"
 #include "gossip/lazy.h"
 #include "gossip/roundrobin.h"
@@ -167,21 +168,49 @@ void attach_telemetry(Engine& engine, TelemetryCollector* telemetry) {
 
 }  // namespace
 
-GossipOutcome run_gossip_spec(const GossipSpec& spec) {
+namespace {
+
+/// The single-spec run behind run_gossip_spec and run_gossip_sweep:
+/// honors spec.audit (throwing on violations) and captures the trace hash.
+GossipSweepResult run_spec_result(const GossipSpec& spec) {
   if (spec.audit) {
     AuditedGossipOutcome audited = run_audited_gossip_spec(spec);
     if (!audited.audit.ok())
       throw ModelViolation("audited gossip run violated the model contract: " +
                            audited.audit.summary());
-    return audited.outcome;
+    return {audited.outcome, audited.trace_hash};
   }
   Engine engine = make_gossip_engine(spec);
   attach_telemetry(engine, spec.telemetry);
   const Time budget =
       spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
-  GossipOutcome outcome = run_gossip(engine, budget);
+  GossipSweepResult result;
+  result.outcome = run_gossip(engine, budget);
   if (spec.telemetry != nullptr) spec.telemetry->finalize(engine.now());
-  return outcome;
+  result.trace_hash = engine.trace_hash();
+  return result;
+}
+
+}  // namespace
+
+GossipOutcome run_gossip_spec(const GossipSpec& spec) {
+  return run_spec_result(spec).outcome;
+}
+
+std::string spec_label(const GossipSpec& spec) {
+  return std::string(to_string(spec.algorithm)) + "/n:" +
+         std::to_string(spec.n) + "/f:" + std::to_string(spec.f) +
+         "/d:" + std::to_string(spec.d) +
+         "/delta:" + std::to_string(spec.delta);
+}
+
+std::vector<GossipSweepResult> run_gossip_sweep(
+    const std::vector<GossipSpec>& specs, std::size_t jobs) {
+  std::vector<GossipSweepResult> results(specs.size());
+  const SweepRunner runner(jobs);
+  runner.run(specs.size(),
+             [&](std::size_t i) { results[i] = run_spec_result(specs[i]); });
+  return results;
 }
 
 AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec) {
@@ -202,6 +231,7 @@ AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec) {
   auditor.cross_check(engine.metrics());
   if (spec.telemetry != nullptr) spec.telemetry->finalize(engine.now());
   result.audit = auditor.report();
+  result.trace_hash = engine.trace_hash();
   return result;
 }
 

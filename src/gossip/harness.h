@@ -98,6 +98,8 @@ GossipOutcome run_gossip_spec(const GossipSpec& spec);
 struct AuditedGossipOutcome {
   GossipOutcome outcome;
   ViolationReport audit;
+  /// The engine's full-trace FNV hash for the run (determinism fingerprint).
+  std::uint64_t trace_hash = 0;
 };
 
 /// Runs the spec with an InvariantAuditor attached (regardless of
@@ -107,5 +109,27 @@ AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec);
 
 /// Default step budget used when spec.max_steps == 0.
 Time default_step_budget(const GossipSpec& spec);
+
+/// Canonical case label for a spec: "ears/n:256/f:64/d:4/delta:3". Shared
+/// by the bench JSON report and `gossiplab sweep` so the same experiment
+/// carries the same name everywhere.
+std::string spec_label(const GossipSpec& spec);
+
+/// One sweep entry's result: the outcome plus the engine's trace hash — the
+/// fingerprint the determinism tests compare across worker counts.
+struct GossipSweepResult {
+  GossipOutcome outcome;
+  std::uint64_t trace_hash = 0;
+};
+
+/// Runs every spec and returns the results in input order, bit-identical
+/// for any `jobs` value (0 = hardware concurrency, 1 = run inline). Specs
+/// honor their audit flag exactly like run_gossip_spec. Runs execute
+/// concurrently, so with jobs > 1 any spec.telemetry collectors must be
+/// distinct objects (one per spec). If a run throws (step-budget API error,
+/// audit violation, ...), the remaining runs still finish and the exception
+/// of the lowest-index failing spec is rethrown.
+std::vector<GossipSweepResult> run_gossip_sweep(
+    const std::vector<GossipSpec>& specs, std::size_t jobs = 0);
 
 }  // namespace asyncgossip

@@ -284,11 +284,11 @@ LowerBoundReport run_lower_bound(const LowerBoundConfig& config) {
       const bool is_pair = (r == state->p || r == state->q);
       // Non-pair S2 members are crashed at window start; skip them here.
       if (!is_pair && state->in_s2(r)) continue;
-      for (const Envelope& env : view.pending_for(r)) {
-        if (env.from != state->p && env.from != state->q) continue;
+      view.for_each_pending(r, [&](const Envelope& env) {
+        if (env.from != state->p && env.from != state->q) return true;
         if (is_pair) {
           if (env.from != r) state->pair_communicated = true;
-          continue;
+          return true;
         }
         if (state->s1_crashes < state->s1_crash_budget &&
             view.crash_budget_left() > 0) {
@@ -297,8 +297,8 @@ LowerBoundReport run_lower_bound(const LowerBoundConfig& config) {
         } else {
           state->crash_budget_exceeded = true;
         }
-        break;
-      }
+        return false;
+      });
     }
     // One local step for p, q (and a delta-consistent step for everyone
     // else) every delta_w global steps.

@@ -10,6 +10,7 @@
 //    process state to probe distributions (see src/lowerbound).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -37,10 +38,16 @@ class EngineView {
   const Process& process(ProcessId p) const;
   const Metrics& metrics() const;
   std::size_t in_flight_count() const;
-  /// In-flight messages destined to p, in send order.
+  /// In-flight messages destined to p, in send order. Materializes a copy;
+  /// prefer for_each_pending / pending_count when a copy is not needed.
   std::vector<Envelope> pending_for(ProcessId p) const;
   /// Number of in-flight messages destined to p.
   std::size_t pending_count(ProcessId p) const;
+  /// Visits every in-flight message destined to p without copying. `fn`
+  /// returns true to keep iterating, false to stop early. Visit order is
+  /// deterministic for a fixed execution but is not send order.
+  void for_each_pending(ProcessId p,
+                        const std::function<bool(const Envelope&)>& fn) const;
   /// Local step count taken by p so far.
   std::uint64_t local_steps_of(ProcessId p) const;
   /// Deep copy of a process (state + RNG): the adaptive adversary's

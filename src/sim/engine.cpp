@@ -28,6 +28,10 @@ std::vector<Envelope> EngineView::pending_for(ProcessId p) const {
 std::size_t EngineView::pending_count(ProcessId p) const {
   return engine_->pending_count(p);
 }
+void EngineView::for_each_pending(
+    ProcessId p, const std::function<bool(const Envelope&)>& fn) const {
+  engine_->for_each_pending(p, fn);
+}
 std::uint64_t EngineView::local_steps_of(ProcessId p) const {
   return engine_->local_steps_of(p);
 }
@@ -47,7 +51,9 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
       metrics_(processes_.size()),
       crashed_(processes_.size(), false),
       alive_count_(processes_.size()),
-      mailbox_(processes_.size()),
+      wheel_width_(static_cast<std::size_t>(config.d + config.delta + 1)),
+      wheel_(processes_.size() * wheel_width_),
+      pending_count_(processes_.size(), 0),
       in_flight_total_(0),
       last_step_time_(processes_.size(), 0),
       stepped_once_(processes_.size(), false),
@@ -60,6 +66,12 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
     throw ApiError("model bounds d and delta must be >= 1");
   if (config_.max_crashes >= processes_.size())
     throw ApiError("crash budget f must satisfy f < n");
+  want_scratch_.resize(processes_.size(), 0);
+  schedule_scratch_.reserve(processes_.size());
+  outbox_scratch_.reserve(64);
+  delivered_scratch_.reserve(64);
+  due_buckets_.reserve(wheel_width_);
+  merge_heads_.reserve(wheel_width_);
 }
 
 void Engine::run(Time steps) {
@@ -76,7 +88,24 @@ bool Engine::run_until(const std::function<bool(const Engine&)>& done,
 }
 
 std::vector<Envelope> Engine::pending_for(ProcessId p) const {
-  return {mailbox_[p].begin(), mailbox_[p].end()};
+  std::vector<Envelope> out;
+  out.reserve(pending_count_[p]);
+  const std::size_t base = p * wheel_width_;
+  for (std::size_t s = 0; s < wheel_width_; ++s)
+    out.insert(out.end(), wheel_[base + s].begin(), wheel_[base + s].end());
+  // Buckets are individually in send order; restore the global send order
+  // (== the order of the monotone message ids) across buckets.
+  std::sort(out.begin(), out.end(),
+            [](const Envelope& a, const Envelope& b) { return a.id < b.id; });
+  return out;
+}
+
+void Engine::for_each_pending(
+    ProcessId p, const std::function<bool(const Envelope&)>& fn) const {
+  const std::size_t base = p * wheel_width_;
+  for (std::size_t s = 0; s < wheel_width_; ++s)
+    for (const Envelope& env : wheel_[base + s])
+      if (!fn(env)) return;
 }
 
 void Engine::hash_mix(std::uint64_t v) {
@@ -96,23 +125,25 @@ void Engine::apply_crashes(const std::vector<ProcessId>& crash_list) {
     metrics_.record_crash();
     for (EngineObserver* o : observers_) o->on_crash(now_, p);
     // A crashed process never steps again; its pending messages are moot.
-    in_flight_total_ -= mailbox_[p].size();
-    mailbox_[p].clear();
+    in_flight_total_ -= pending_count_[p];
+    pending_count_[p] = 0;
+    const std::size_t base = p * wheel_width_;
+    for (std::size_t s = 0; s < wheel_width_; ++s) wheel_[base + s].clear();
     hash_mix(0xC0DEull ^ p);
   }
 }
 
-std::vector<ProcessId> Engine::effective_schedule(
+const std::vector<ProcessId>& Engine::effective_schedule(
     const std::vector<ProcessId>& proposed) {
-  std::vector<bool> want(processes_.size(), false);
+  std::fill(want_scratch_.begin(), want_scratch_.end(), 0);
   for (ProcessId p : proposed) {
     AG_ASSERT_MSG(p < processes_.size(), "scheduled process out of range");
-    if (!crashed_[p]) want[p] = true;
+    if (!crashed_[p]) want_scratch_[p] = 1;
   }
   // Enforce the delta contract: a live process whose deadline has arrived
   // must step now.
   for (ProcessId p = 0; p < processes_.size(); ++p) {
-    if (crashed_[p] || want[p]) continue;
+    if (crashed_[p] || want_scratch_[p] != 0) continue;
     const Time deadline = stepped_once_[p] ? last_step_time_[p] + config_.delta
                                            : config_.delta - 1;
     if (now_ >= deadline) {
@@ -120,37 +151,68 @@ std::vector<ProcessId> Engine::effective_schedule(
         throw ModelViolation(
             "adversary left a live process unscheduled past its delta "
             "deadline");
-      want[p] = true;
+      want_scratch_[p] = 1;
     }
   }
-  std::vector<ProcessId> result;
+  schedule_scratch_.clear();
   for (ProcessId p = 0; p < processes_.size(); ++p)
-    if (want[p]) result.push_back(p);
-  return result;
+    if (want_scratch_[p] != 0) schedule_scratch_.push_back(p);
+  return schedule_scratch_;
 }
 
-std::vector<Envelope> Engine::collect_deliveries(ProcessId p) {
-  std::vector<Envelope> delivered;
-  auto& box = mailbox_[p];
-  const Time prev_step = stepped_once_[p] ? last_step_time_[p] : kTimeMax;
-  std::deque<Envelope> kept;
-  for (auto& env : box) {
-    if (env.deliver_after <= now_) {
-      metrics_.record_delivery(p, env.send_time, prev_step, now_);
-      for (EngineObserver* o : observers_) o->on_delivery(env, now_);
-      hash_mix(0xDE11ull ^ env.id);
-      delivered.push_back(std::move(env));
-    } else {
-      kept.push_back(std::move(env));
+const std::vector<Envelope>& Engine::collect_deliveries(ProcessId p) {
+  delivered_scratch_.clear();
+  if (pending_count_[p] != 0) {
+    // Due slots: every deadline in (last step, now]. The engine's delta
+    // enforcement bounds this span by delta < wheel_width_, and the wheel
+    // is wide enough that these buckets hold due messages only (future
+    // deadlines land in other slots; see engine.h).
+    const Time t_lo = stepped_once_[p] ? last_step_time_[p] + 1 : 0;
+    AG_ASSERT_MSG(now_ - t_lo < wheel_width_,
+                  "scheduling gap exceeded the timing-wheel width");
+    due_buckets_.clear();
+    for (Time t = t_lo; t <= now_; ++t) {
+      std::vector<Envelope>& b = bucket(p, t);
+      if (!b.empty()) due_buckets_.push_back(&b);
+    }
+    if (due_buckets_.size() == 1) {
+      delivered_scratch_.swap(*due_buckets_[0]);
+    } else if (!due_buckets_.empty()) {
+      // Merge the due buckets back into global send order by message id
+      // (each bucket is already id-sorted).
+      merge_heads_.assign(due_buckets_.size(), 0);
+      std::size_t total = 0;
+      for (const auto* b : due_buckets_) total += b->size();
+      delivered_scratch_.reserve(total);
+      for (std::size_t taken = 0; taken < total; ++taken) {
+        std::size_t best = due_buckets_.size();
+        for (std::size_t i = 0; i < due_buckets_.size(); ++i) {
+          if (merge_heads_[i] >= due_buckets_[i]->size()) continue;
+          if (best == due_buckets_.size() ||
+              (*due_buckets_[i])[merge_heads_[i]].id <
+                  (*due_buckets_[best])[merge_heads_[best]].id)
+            best = i;
+        }
+        delivered_scratch_.push_back(
+            std::move((*due_buckets_[best])[merge_heads_[best]]));
+        ++merge_heads_[best];
+      }
+      for (auto* b : due_buckets_) b->clear();
     }
   }
-  in_flight_total_ -= delivered.size();
-  box = std::move(kept);
-  return delivered;
+  const Time prev_step = stepped_once_[p] ? last_step_time_[p] : kTimeMax;
+  for (const Envelope& env : delivered_scratch_) {
+    metrics_.record_delivery(p, env.send_time, prev_step, now_);
+    for (EngineObserver* o : observers_) o->on_delivery(env, now_);
+    hash_mix(0xDE11ull ^ env.id);
+  }
+  in_flight_total_ -= delivered_scratch_.size();
+  pending_count_[p] -= delivered_scratch_.size();
+  return delivered_scratch_;
 }
 
 void Engine::dispatch_sends(ProcessId from,
-                            std::vector<StepContext::Outgoing>&& out) {
+                            std::vector<StepContext::Outgoing>& out) {
   const EngineView view(*this);
   for (auto& o : out) {
     AG_ASSERT_MSG(o.to < processes_.size(), "send target out of range");
@@ -167,7 +229,12 @@ void Engine::dispatch_sends(ProcessId from,
                           env.payload ? env.payload->byte_size() : 0);
     for (EngineObserver* obs : observers_) obs->on_send(env);
     hash_mix(0x5E4Dull ^ env.id ^ (static_cast<std::uint64_t>(env.to) << 32));
-    pending_sends_.push_back(std::move(env));
+    if (crashed_[env.to]) continue;  // delivery to a crashed process is moot
+    const ProcessId to = env.to;
+    // Injection in send order keeps every wheel bucket sorted by message id.
+    bucket(to, env.deliver_after).push_back(std::move(env));
+    ++pending_count_[to];
+    ++in_flight_total_;
   }
 }
 
@@ -176,7 +243,7 @@ void Engine::advance_one_step() {
   StepDecision decision = adversary_->decide(now_, view);
 
   apply_crashes(decision.crash);
-  const std::vector<ProcessId> schedule =
+  const std::vector<ProcessId>& schedule =
       effective_schedule(decision.schedule);
 
   for (ProcessId p : schedule) {
@@ -184,11 +251,13 @@ void Engine::advance_one_step() {
         stepped_once_[p] ? now_ - last_step_time_[p] : now_ + 1;
     metrics_.record_gap(gap);
     for (EngineObserver* o : observers_) o->on_step(now_, p);
-    const std::vector<Envelope> delivered = collect_deliveries(p);
-    StepContext ctx(p, processes_.size(), local_steps_[p], delivered);
+    const std::vector<Envelope>& delivered = collect_deliveries(p);
+    outbox_scratch_.clear();
+    StepContext ctx(p, processes_.size(), local_steps_[p], delivered,
+                    outbox_scratch_);
     ctx.attach_probe(probe_sink_, now_);
     processes_[p]->step(ctx);
-    dispatch_sends(p, std::move(ctx.outbox()));
+    dispatch_sends(p, outbox_scratch_);
     last_step_time_[p] = now_;
     stepped_once_[p] = true;
     ++local_steps_[p];
@@ -196,15 +265,6 @@ void Engine::advance_one_step() {
     hash_mix(0x57E4ull ^ p ^ (now_ << 16));
   }
 
-  // Simultaneous-step semantics: messages produced during step t enter the
-  // network only after every scheduled process has stepped, so no message
-  // can be relayed within the step it was sent.
-  for (auto& env : pending_sends_) {
-    if (crashed_[env.to]) continue;  // delivery to a crashed process is moot
-    mailbox_[env.to].push_back(std::move(env));
-    ++in_flight_total_;
-  }
-  pending_sends_.clear();
   metrics_.record_in_flight(in_flight_total_);
 
   ++now_;

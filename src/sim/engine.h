@@ -11,9 +11,23 @@
 // its delta deadline arrives. In strict mode the engine instead throws
 // ModelViolation if the adversary's raw decision would breach a bound,
 // which the test suite uses to validate adversary implementations.
+//
+// Mailbox representation (the hot path): in-flight messages live in a
+// per-destination timing wheel — a ring of W = d + delta + 1 buckets where
+// a message with delivery deadline t sits in bucket t % W. When a process
+// steps at time `now`, exactly the buckets for slot times
+// (last step, now] are due, and *everything* in them is deliverable, so
+// collect_deliveries pops O(due) envelopes instead of rewriting the whole
+// mailbox. W is sized so that due and future messages can never share a
+// bucket: pending deadlines span at most (last step, now + d] and the
+// engine's delta enforcement keeps now - last step <= delta, so the span
+// is < W (see docs/PERFORMANCE.md for the proof sketch). Buckets hold
+// envelopes in send order and due buckets are merged back into global send
+// order by message id, which keeps delivery order — and therefore
+// trace_hash and all Metrics — bit-identical to the historical
+// single-deque-per-destination implementation.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -74,8 +88,17 @@ class Engine {
 
   std::size_t in_flight_count() const { return in_flight_total_; }
   bool network_empty() const { return in_flight_total_ == 0; }
+  /// In-flight messages destined to p, in send order. Materializes a copy;
+  /// prefer for_each_pending / pending_count when a copy is not needed.
   std::vector<Envelope> pending_for(ProcessId p) const;
-  std::size_t pending_count(ProcessId p) const { return mailbox_[p].size(); }
+  std::size_t pending_count(ProcessId p) const { return pending_count_[p]; }
+  /// Visits every in-flight message destined to p without copying. `fn`
+  /// returns true to keep iterating, false to stop early. Visit order is
+  /// deterministic for a fixed execution but is *not* send order (messages
+  /// come out wheel-bucket by wheel-bucket); use pending_for when order
+  /// matters.
+  void for_each_pending(ProcessId p,
+                        const std::function<bool(const Envelope&)>& fn) const;
   std::uint64_t local_steps_of(ProcessId p) const { return local_steps_[p]; }
   std::unique_ptr<Process> fork_process(ProcessId p) const {
     return processes_[p]->clone();
@@ -108,11 +131,31 @@ class Engine {
  private:
   void advance_one_step();
   void apply_crashes(const std::vector<ProcessId>& crash_list);
-  std::vector<ProcessId> effective_schedule(
+  /// Fills schedule_scratch_ with the corrected schedule and returns it.
+  const std::vector<ProcessId>& effective_schedule(
       const std::vector<ProcessId>& proposed);
-  std::vector<Envelope> collect_deliveries(ProcessId p);
-  void dispatch_sends(ProcessId from, std::vector<StepContext::Outgoing>&& out);
+  /// Fills delivered_scratch_ with p's due messages in send order (see the
+  /// mailbox notes above) and returns it. The buffer stays valid until the
+  /// next collect_deliveries call.
+  const std::vector<Envelope>& collect_deliveries(ProcessId p);
+  /// Turns a step's outbox into envelopes and injects them straight into
+  /// the destination wheel buckets. Safe under simultaneous-step semantics:
+  /// a message sent at `now` has deliver_after >= now + 1, which is never a
+  /// due slot (<= now) for any process stepping at `now`, so nothing can be
+  /// relayed within the step it was sent; and crashes apply only at step
+  /// start, so crashed_ is stable across the whole step. Consumes the
+  /// payloads but leaves `out` itself to the caller for reuse.
+  void dispatch_sends(ProcessId from, std::vector<StepContext::Outgoing>& out);
   void hash_mix(std::uint64_t v);
+
+  std::vector<Envelope>& bucket(ProcessId p, Time slot_time) {
+    return wheel_[p * wheel_width_ + static_cast<std::size_t>(
+                                         slot_time % wheel_width_)];
+  }
+  const std::vector<Envelope>& bucket(ProcessId p, Time slot_time) const {
+    return wheel_[p * wheel_width_ + static_cast<std::size_t>(
+                                         slot_time % wheel_width_)];
+  }
 
   EngineConfig config_;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -123,7 +166,14 @@ class Engine {
   std::vector<bool> crashed_;
   std::size_t alive_count_;
   std::size_t crashes_ = 0;
-  std::vector<std::deque<Envelope>> mailbox_;  // per destination, send order
+
+  // Timing-wheel mailboxes: wheel_[p * wheel_width_ + t % wheel_width_]
+  // holds the messages destined to p whose delivery deadline is t, in send
+  // order. pending_count_[p] tracks p's total across its buckets.
+  std::size_t wheel_width_;
+  std::vector<std::vector<Envelope>> wheel_;
+  std::vector<std::size_t> pending_count_;
+
   std::size_t in_flight_total_ = 0;
   std::vector<Time> last_step_time_;
   std::vector<bool> stepped_once_;
@@ -133,9 +183,15 @@ class Engine {
   std::vector<EngineObserver*> observers_;
   ProbeSink* probe_sink_ = nullptr;
 
-  // Sends produced during the current step, injected into mailboxes only
-  // after every scheduled process has stepped (simultaneous semantics).
-  std::vector<Envelope> pending_sends_;
+  // Reusable per-step scratch buffers (hot path: no steady-state
+  // allocation). Contents are only valid between fill and use within one
+  // advance_one_step; capacity persists across steps.
+  std::vector<std::uint8_t> want_scratch_;
+  std::vector<ProcessId> schedule_scratch_;
+  std::vector<Envelope> delivered_scratch_;
+  std::vector<StepContext::Outgoing> outbox_scratch_;
+  std::vector<std::vector<Envelope>*> due_buckets_;
+  std::vector<std::size_t> merge_heads_;
 };
 
 }  // namespace asyncgossip

@@ -7,6 +7,7 @@
 // units of (d + delta).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,18 +21,37 @@ class Metrics {
       : per_process_sent_(n, 0), per_process_received_(n, 0) {}
 
   // --- recording (engine only) ------------------------------------------
-  void record_send(ProcessId from, Time now, std::size_t payload_bytes);
+  // Defined inline: these run once per message / per step on the engine hot
+  // path, and a cross-TU call would cost more than the increments they do.
+  void record_send(ProcessId from, Time now, std::size_t payload_bytes) {
+    ++messages_sent_;
+    bytes_sent_ += payload_bytes;
+    ++per_process_sent_[from];
+    last_send_time_ = now;
+    any_send_ = true;
+  }
   /// `prev_step` is the receiver's previous local-step time (kTimeMax if it
   /// never stepped before): per the paper's definition, a message witnesses
   /// a delay bound of prev_step - send_time + 1 — the wait after the
   /// receiver's last pre-delivery step is attributable to delta, not d.
-  void record_delivery(ProcessId to, Time send_time, Time prev_step, Time now);
-  void record_gap(Time gap);
-  void record_local_step();
-  void record_crash();
+  void record_delivery(ProcessId to, Time send_time, Time prev_step,
+                       Time now) {
+    ++messages_delivered_;
+    ++per_process_received_[to];
+    Time witnessed = 1;
+    if (prev_step != kTimeMax && prev_step > send_time)
+      witnessed = prev_step - send_time + 1;
+    witnessed = std::min(witnessed, now - send_time);
+    realized_d_ = std::max(realized_d_, witnessed);
+  }
+  void record_gap(Time gap) { realized_delta_ = std::max(realized_delta_, gap); }
+  void record_local_step() { ++local_steps_; }
+  void record_crash() { ++crashes_; }
   /// End-of-step sample of the number of messages in the network; the
   /// max_in_flight() gauge is the maximum over these samples.
-  void record_in_flight(std::size_t in_flight);
+  void record_in_flight(std::size_t in_flight) {
+    max_in_flight_ = std::max(max_in_flight_, in_flight);
+  }
 
   // --- reporting ----------------------------------------------------------
   /// Total point-to-point messages sent.

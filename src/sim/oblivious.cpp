@@ -130,11 +130,13 @@ StepDecision ObliviousAdversary::decide_oblivious(Time now) {
         d.schedule.push_back(static_cast<ProcessId>(p));
       break;
     case SchedulePattern::kStaggered:
+      d.schedule.reserve(config_.n);
       for (std::size_t p = 0; p < config_.n; ++p)
         if ((now + phases_[p]) % periods_[p] == 0)
           d.schedule.push_back(static_cast<ProcessId>(p));
       break;
     case SchedulePattern::kRandomSubset:
+      d.schedule.reserve(config_.n);
       for (std::size_t p = 0; p < config_.n; ++p)
         if (schedule_rng_.bernoulli(0.5))
           d.schedule.push_back(static_cast<ProcessId>(p));
@@ -142,12 +144,14 @@ StepDecision ObliviousAdversary::decide_oblivious(Time now) {
     case SchedulePattern::kRotating: {
       const std::size_t start =
           (static_cast<std::size_t>(now) * rotate_width_) % config_.n;
+      d.schedule.reserve(rotate_width_);
       for (std::size_t i = 0; i < rotate_width_; ++i)
         d.schedule.push_back(
             static_cast<ProcessId>((start + i) % config_.n));
       break;
     }
     case SchedulePattern::kStraggler:
+      d.schedule.reserve(config_.n);
       for (std::size_t p = 0; p < config_.n; ++p) {
         if (!straggler_set_[p] || now % config_.delta == config_.delta - 1)
           d.schedule.push_back(static_cast<ProcessId>(p));

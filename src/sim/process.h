@@ -23,9 +23,24 @@ namespace asyncgossip {
 /// Handed to a process for the duration of one local step.
 class StepContext {
  public:
+  struct Outgoing {
+    ProcessId to;
+    PayloadPtr payload;
+  };
+
   StepContext(ProcessId self, std::size_t n, std::uint64_t local_step,
               const std::vector<Envelope>& received)
-      : self_(self), n_(n), local_step_(local_step), received_(received) {}
+      : self_(self), n_(n), local_step_(local_step), received_(received),
+        outbox_(&own_outbox_) {}
+
+  /// Engine-side overload: sends go into `outbox`, a caller-owned buffer
+  /// that must arrive empty and outlive the context. Lets the engine reuse
+  /// one buffer across proc-steps instead of allocating per step.
+  StepContext(ProcessId self, std::size_t n, std::uint64_t local_step,
+              const std::vector<Envelope>& received,
+              std::vector<Outgoing>& outbox)
+      : self_(self), n_(n), local_step_(local_step), received_(received),
+        outbox_(&outbox) {}
 
   StepContext(const StepContext&) = delete;
   StepContext& operator=(const StepContext&) = delete;
@@ -43,16 +58,11 @@ class StepContext {
   /// Queues a point-to-point message; the engine takes ownership of the
   /// batch when the step ends. Sending to self is allowed and is counted.
   void send(ProcessId to, PayloadPtr payload) {
-    outbox_.push_back(Outgoing{to, std::move(payload)});
+    outbox_->push_back(Outgoing{to, std::move(payload)});
   }
 
-  struct Outgoing {
-    ProcessId to;
-    PayloadPtr payload;
-  };
-
   /// Engine-side accessor; algorithm code has no reason to call this.
-  std::vector<Outgoing>& outbox() { return outbox_; }
+  std::vector<Outgoing>& outbox() { return *outbox_; }
 
   // --- instrumentation probes (sim/probe.h) -------------------------------
   // No-ops unless the engine attached a sink; probing never affects the
@@ -83,7 +93,8 @@ class StepContext {
   std::size_t n_;
   std::uint64_t local_step_;
   const std::vector<Envelope>& received_;
-  std::vector<Outgoing> outbox_;
+  std::vector<Outgoing> own_outbox_;
+  std::vector<Outgoing>* outbox_;
   ProbeSink* probe_ = nullptr;
   Time probe_now_ = 0;
 };

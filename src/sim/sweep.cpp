@@ -1,0 +1,55 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace asyncgossip {
+
+SweepRunner::SweepRunner(std::size_t jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+}
+
+void SweepRunner::run(std::size_t count,
+                      const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+
+  std::vector<std::exception_ptr> errors(count);
+
+  if (jobs_ <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    const std::size_t workers = jobs_ < count ? jobs_ : count;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < count; ++i)
+    if (errors[i] != nullptr) std::rethrow_exception(errors[i]);
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,42 @@
+// Deterministic parallel sweep runner.
+//
+// Simulations in this repo are bit-reproducible from their spec alone, and a
+// parameter sweep is a list of completely independent runs — so the only
+// thing parallelism must preserve is *which run writes which result slot*.
+// SweepRunner executes tasks 0..count-1 on a small thread pool where each
+// worker atomically claims the next unclaimed index; task i writes only to
+// slot i of the caller's result vector, so the result is identical for any
+// worker count (including 1). Determinism tests pin this down by comparing
+// outcome vectors across --jobs values (tests/test_sweep.cpp).
+//
+// Layering note: sim/ cannot see gossip-level types, so this runner is
+// index-based and generic. The GossipSpec-shaped convenience wrapper lives
+// in gossip/harness.h (run_gossip_sweep).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace asyncgossip {
+
+class SweepRunner {
+ public:
+  /// `jobs` = number of worker threads; 0 means the hardware concurrency
+  /// (at least 1). jobs <= 1 runs tasks inline on the calling thread.
+  explicit SweepRunner(std::size_t jobs = 0);
+
+  /// The resolved worker count (never 0).
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs fn(0) .. fn(count-1), each exactly once, and blocks until all
+  /// finish. Tasks must be independent: fn(i) may only touch state owned by
+  /// index i. If any task throws, the exception of the lowest-index failing
+  /// task is rethrown after every worker has drained (remaining tasks still
+  /// run, so a throw cannot leave silent holes in the result vector).
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace asyncgossip

@@ -389,4 +389,23 @@ bool json_valid(const std::string& text, std::string* error) {
   return JsonChecker(text).run(error);
 }
 
+void write_bench_json(std::ostream& os, const std::string& suite,
+                      const std::vector<BenchCaseRow>& cases) {
+  os << "{\n  \"schema\": \"asyncgossip-bench-v1\",\n";
+  os << "  \"suite\": \"" << json_escape(suite) << "\",\n";
+  os << "  \"cases\": [";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+       << json_escape(cases[i].name) << "\", \"counters\": {";
+    const auto& counters = cases[i].counters;
+    for (std::size_t c = 0; c < counters.size(); ++c) {
+      if (c != 0) os << ", ";
+      os << '"' << json_escape(counters[c].first)
+         << "\": " << num(counters[c].second);
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
 }  // namespace asyncgossip

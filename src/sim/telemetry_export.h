@@ -44,6 +44,19 @@ void write_telemetry_json(std::ostream& os, const TelemetryCollector& t,
 /// in_flight,sent,delivered
 void write_spread_csv(std::ostream& os, const TelemetryCollector& t);
 
+/// One case row of an "asyncgossip-bench-v1" document.
+struct BenchCaseRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Writes an "asyncgossip-bench-v1" document:
+///   {"schema": ..., "suite": ..., "cases": [{"name", "counters": {...}}]}
+/// The one writer shared by the bench binaries' AG_BENCH_JSON reports and
+/// `gossiplab sweep --json`, so downstream parsers see a single schema.
+void write_bench_json(std::ostream& os, const std::string& suite,
+                      const std::vector<BenchCaseRow>& cases);
+
 /// Strict JSON syntax check (RFC 8259 grammar, UTF-8 escapes unvalidated).
 /// On failure returns false and, when `error` is non-null, stores a short
 /// description with the byte offset.

@@ -1,0 +1,149 @@
+// Tests for the parallel sweep runner: the generic index pool
+// (sim/sweep.h) and the gossip-level batch API run_gossip_sweep
+// (gossip/harness.h). The load-bearing property is determinism — a sweep's
+// outcomes must be bit-identical for any worker count and equal to running
+// each spec alone — so a 32-spec grid is run at jobs = 1, 4, and 8 and
+// compared field by field, trace hash included.
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+namespace {
+
+TEST(SweepRunner, RunsEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    constexpr std::size_t kCount = 100;
+    std::vector<std::atomic<int>> hits(kCount);
+    const SweepRunner runner(jobs);
+    runner.run(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+  }
+}
+
+TEST(SweepRunner, ZeroCountIsANoOp) {
+  const SweepRunner runner(4);
+  runner.run(0, [](std::size_t) { FAIL() << "task ran for an empty sweep"; });
+}
+
+TEST(SweepRunner, JobsZeroMeansHardwareConcurrency) {
+  const SweepRunner runner(0);
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+TEST(SweepRunner, MoreJobsThanTasksStillCompletes) {
+  std::atomic<int> total{0};
+  const SweepRunner runner(16);
+  runner.run(3, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(SweepRunner, LowestIndexExceptionWins) {
+  // Several tasks throw; the runner must finish the sweep and rethrow the
+  // failure with the smallest index so reruns are reproducible.
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    const SweepRunner runner(jobs);
+    try {
+      runner.run(20, [](std::size_t i) {
+        if (i == 5 || i == 11 || i == 17)
+          throw std::runtime_error("task " + std::to_string(i));
+      });
+      FAIL() << "expected an exception (jobs " << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 5") << "jobs " << jobs;
+    }
+  }
+}
+
+/// A 32-spec grid mixing algorithms, sizes, and seeds — large enough that a
+/// racy runner would almost surely misorder or corrupt something.
+std::vector<GossipSpec> grid32() {
+  std::vector<GossipSpec> specs;
+  const GossipAlgorithm algs[] = {
+      GossipAlgorithm::kTrivial, GossipAlgorithm::kEars,
+      GossipAlgorithm::kLazy, GossipAlgorithm::kRoundRobin};
+  for (GossipAlgorithm alg : algs) {
+    for (std::size_t n : {std::size_t{24}, std::size_t{40}}) {
+      for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+        GossipSpec spec;
+        spec.algorithm = alg;
+        spec.n = n;
+        spec.f = n / 4;
+        spec.d = 3;
+        spec.delta = 2;
+        spec.seed = seed;
+        spec.schedule = SchedulePattern::kStaggered;
+        spec.delay = DelayPattern::kUniform;
+        specs.push_back(spec);
+      }
+    }
+  }
+  EXPECT_EQ(specs.size(), 32u);
+  return specs;
+}
+
+void expect_same_results(const std::vector<GossipSweepResult>& a,
+                         const std::vector<GossipSweepResult>& b,
+                         const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].trace_hash, b[i].trace_hash) << label << " spec " << i;
+    EXPECT_EQ(a[i].outcome.completed, b[i].outcome.completed)
+        << label << " spec " << i;
+    EXPECT_EQ(a[i].outcome.completion_time, b[i].outcome.completion_time)
+        << label << " spec " << i;
+    EXPECT_EQ(a[i].outcome.messages, b[i].outcome.messages)
+        << label << " spec " << i;
+    EXPECT_EQ(a[i].outcome.bytes, b[i].outcome.bytes)
+        << label << " spec " << i;
+    EXPECT_EQ(a[i].outcome.gathering_ok, b[i].outcome.gathering_ok)
+        << label << " spec " << i;
+    EXPECT_EQ(a[i].outcome.majority_ok, b[i].outcome.majority_ok)
+        << label << " spec " << i;
+    EXPECT_EQ(a[i].outcome.alive, b[i].outcome.alive) << label << " spec "
+                                                      << i;
+  }
+}
+
+TEST(GossipSweep, DeterministicAcrossWorkerCounts) {
+  const std::vector<GossipSpec> specs = grid32();
+  const std::vector<GossipSweepResult> seq = run_gossip_sweep(specs, 1);
+  const std::vector<GossipSweepResult> par4 = run_gossip_sweep(specs, 4);
+  const std::vector<GossipSweepResult> par8 = run_gossip_sweep(specs, 8);
+  expect_same_results(seq, par4, "jobs 1 vs 4");
+  expect_same_results(seq, par8, "jobs 1 vs 8");
+}
+
+TEST(GossipSweep, MatchesIndividualRunsInInputOrder) {
+  const std::vector<GossipSpec> specs = grid32();
+  const std::vector<GossipSweepResult> sweep = run_gossip_sweep(specs, 4);
+  ASSERT_EQ(sweep.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const GossipOutcome solo = run_gossip_spec(specs[i]);
+    EXPECT_EQ(sweep[i].outcome.completion_time, solo.completion_time)
+        << "spec " << i;
+    EXPECT_EQ(sweep[i].outcome.messages, solo.messages) << "spec " << i;
+    EXPECT_EQ(sweep[i].outcome.completed, solo.completed) << "spec " << i;
+  }
+}
+
+TEST(GossipSweep, AuditedSpecsRunInParallelToo) {
+  std::vector<GossipSpec> specs = grid32();
+  specs.resize(8);
+  for (GossipSpec& spec : specs) spec.audit = true;
+  const std::vector<GossipSweepResult> seq = run_gossip_sweep(specs, 1);
+  const std::vector<GossipSweepResult> par = run_gossip_sweep(specs, 4);
+  expect_same_results(seq, par, "audited jobs 1 vs 4");
+  for (const GossipSweepResult& r : seq) EXPECT_TRUE(r.outcome.completed);
+}
+
+}  // namespace
+}  // namespace asyncgossip

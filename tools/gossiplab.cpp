@@ -268,27 +268,77 @@ int cmd_gossip(const Flags& f) {
 int cmd_sweep(const Flags& f) {
   if (has_flag(f, "help")) {
     std::printf("usage: gossiplab sweep [flags]\n"
-                "run an algorithm over a list of n values, CSV to stdout\n"
+                "run an algorithm over a grid of n values x seeds, CSV to "
+                "stdout\n"
                 "    --n N1,N2,...       population sizes (default 64,128,256)\n"
                 "    --fpct P            crash budget as %% of n (default 25)\n"
-                "    --seeds K           seeds per size (default 3)\n%s",
+                "    --seeds K           seeds per size (default 3)\n"
+                "    --jobs J            worker threads (default 1; 0 = all "
+                "hardware threads).\n"
+                "                        output is identical for every J — "
+                "only wall time changes\n"
+                "    --json PATH         also write an asyncgossip-bench-v1 "
+                "report (suite \"sweep\")\n%s",
                 kSpecFlagHelp);
     return 0;
   }
-  check_flags("sweep", f, {SPEC_FLAG_LIST, "fpct", "seeds", "csv"});
+  check_flags("sweep", f, {SPEC_FLAG_LIST, "fpct", "seeds", "csv", "jobs",
+                           "json"});
   const auto ns = parse_list(get_str(f, "n", "64,128,256"));
   const std::uint64_t fpct = get_u64(f, "fpct", 25);
   const std::uint64_t seeds = get_u64(f, "seeds", 3);
-  print_gossip_csv_header();
+  const std::uint64_t jobs = get_u64(f, "jobs", 1);
+
+  // Build the whole grid up front so the parallel runner can claim cases
+  // freely; rows are printed afterwards in grid order regardless of which
+  // worker finished first.
+  std::vector<GossipSpec> specs;
+  specs.reserve(ns.size() * seeds);
   for (std::uint64_t n : ns) {
     for (std::uint64_t s = 0; s < seeds; ++s) {
       Flags g = f;
       g["n"] = std::to_string(n);
       g["f"] = std::to_string(n * fpct / 100);
       g["seed"] = std::to_string(get_u64(f, "seed", 1) + s);
-      const GossipSpec spec = spec_from_flags(g);
-      print_gossip_csv(spec, run_gossip_spec(spec));
+      specs.push_back(spec_from_flags(g));
     }
+  }
+  const std::vector<GossipSweepResult> results =
+      run_gossip_sweep(specs, static_cast<std::size_t>(jobs));
+
+  print_gossip_csv_header();
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    print_gossip_csv(specs[i], results[i].outcome);
+
+  const std::string json_path = get_str(f, "json", "");
+  if (!json_path.empty()) {
+    std::vector<BenchCaseRow> rows;
+    rows.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const GossipSpec& spec = specs[i];
+      const GossipOutcome& out = results[i].outcome;
+      BenchCaseRow row;
+      row.name = spec_label(spec) + "/seed:" + std::to_string(spec.seed);
+      row.counters = {
+          {"completed", out.completed ? 1.0 : 0.0},
+          {"steps", static_cast<double>(out.completion_time)},
+          {"msgs", static_cast<double>(out.messages)},
+          {"bytes", static_cast<double>(out.bytes)},
+          {"gather_ok", out.gathering_ok ? 1.0 : 0.0},
+          {"majority_ok", out.majority_ok ? 1.0 : 0.0},
+          {"alive", static_cast<double>(out.alive)},
+          {"realized_d", static_cast<double>(out.realized_d)},
+          {"realized_delta", static_cast<double>(out.realized_delta)},
+      };
+      rows.push_back(std::move(row));
+    }
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "sweep: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    write_bench_json(out, "sweep", rows);
   }
   return 0;
 }
