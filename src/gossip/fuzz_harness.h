@@ -1,0 +1,133 @@
+// Gossip-level fuzzing and statistical bound checking.
+//
+// sim/fuzz.h and sim/statcheck.h are deliberately generic (sim/ cannot see
+// gossip types); this module is the gossip side of both:
+//
+//  * the fuzz oracle — build the spec, run the engine under a TraceRecorder
+//    and an InvariantAuditor, then judge the run: audit findings, gossip
+//    postconditions per algorithm (completion, gathering, majority), and
+//    generous time/message envelopes;
+//  * failing-case shrinking plus replayable artifacts — a shrunk minimum is
+//    written as an "asyncgossip-repro-v1" spec (gossip/spec_json.h) and a
+//    trace-format-v1 event log, which `gossiplab replay` re-executes
+//    bit-identically;
+//  * the statcheck driver — GossipSpec trial grids through the parallel
+//    SweepRunner, checked against the paper's Table 1 envelopes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gossip/harness.h"
+#include "gossip/spec_json.h"
+#include "sim/fuzz.h"
+#include "sim/shrink.h"
+#include "sim/statcheck.h"
+#include "sim/trace.h"
+
+namespace asyncgossip {
+
+/// The algorithm palette the fuzzer samples: FuzzCase::algorithm indexes
+/// this list. Every algorithm in the repo is present.
+const std::vector<GossipAlgorithm>& fuzz_algorithms();
+
+/// Expands an opaque fuzz case into a full runnable spec (algorithm index
+/// resolved against fuzz_algorithms(); f clamped for algorithms that
+/// require it). Throws ApiError on an out-of-range algorithm index.
+GossipSpec spec_from_fuzz_case(const FuzzCase& c);
+
+/// Human label with the algorithm name substituted for the opaque index.
+std::string gossip_case_label(const FuzzCase& c);
+
+/// Test-only fault injection: mutates a *copy* of the recorded event
+/// stream, which the oracle then re-audits offline. The run itself is never
+/// perturbed, so replaying the artifact still reproduces the identical
+/// trace hash — the injected violation lives in the mutated copy only.
+using EventMutator = std::function<void(std::vector<TraceRecorder::Event>&)>;
+
+/// A named palette of built-in mutators for CLI / CI use ("late-delivery",
+/// "double-step", "phantom-crash"). Returns false on an unknown name.
+bool event_mutator_from_string(const std::string& name, EventMutator* out);
+
+/// Builds the deterministic gossip oracle. The oracle:
+///  1. runs the case's spec under InvariantAuditor + TraceRecorder with a
+///     step budget of 2x default_step_budget;
+///  2. fails on any audit finding ("audit: ...");
+///  3. if `mutate` is set, re-audits a mutated copy of the event stream and
+///     fails on findings there ("injected-audit: ...");
+///  4. checks per-algorithm postconditions ("postcondition: ..."):
+///     completion for every algorithm; rumor gathering for trivial, ears,
+///     sears, sync, ears-no-informed-list and round-robin; majority for
+///     those plus tears (lazy promises completion only);
+///  5. checks generous sanity envelopes ("envelope: ..."): completion time
+///     within default_step_budget, messages within a loose
+///     O(n^2 log^2 n (d + delta)) ceiling.
+FuzzOracle make_gossip_fuzz_oracle(EventMutator mutate = nullptr);
+
+struct GossipFuzzOptions {
+  FuzzDomain domain;  // domain.algorithms is overwritten from the palette
+  FuzzOptions fuzz;
+  ShrinkOptions shrink;
+  /// Artifact path prefix; on a failure the harness writes
+  /// "<prefix>.spec.json" and "<prefix>.trace". "" disables emission.
+  std::string artifact_prefix;
+  EventMutator mutate;          // test-only fault injection (see above)
+  std::ostream* log = nullptr;  // progress narration; nullptr = silent
+};
+
+struct GossipFuzzResult {
+  FuzzReport report;
+  bool found_failure = false;
+  /// Populated when found_failure: the shrunk minimum and its verdict.
+  FuzzCase minimal;
+  FuzzVerdict minimal_verdict;
+  std::size_t shrink_attempts = 0;
+  std::size_t shrink_rounds = 0;
+  /// Artifact paths written ("" when emission was disabled or failed).
+  std::string spec_artifact;
+  std::string trace_artifact;
+};
+
+/// The full pipeline: fuzz — shrink the first failure — emit artifacts.
+GossipFuzzResult run_gossip_fuzz(const GossipFuzzOptions& options);
+
+/// Re-runs a repro artifact's spec (audited) and compares the engine trace
+/// hash against the artifact's pinned fingerprint. Returns true iff they
+/// match; *detail gets a one-line description either way.
+bool replay_repro(const ReproArtifact& artifact, std::string* detail);
+
+struct GossipStatCheckOptions {
+  StatCheckConfig stat{0.9, 3.0};  // quantile, slack
+  /// Trials (seeds) per cell.
+  std::size_t trials = 12;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 0;  // SweepRunner jobs (0 = hardware concurrency)
+  /// Population grid; the smallest n is the calibration column.
+  std::vector<std::size_t> ns = {12, 16, 24, 32};
+  /// Crash budget per cell: f = floor(f_fraction * n).
+  double f_fraction = 0.25;
+  /// (d, delta) pairs; cells are ns x dds.
+  std::vector<std::pair<Time, Time>> dds = {{1, 1}, {3, 2}};
+  std::ostream* log = nullptr;
+};
+
+/// Runs the Table 1 bound check for EARS (rumor gathering) and TEARS
+/// (majority gossip): per-cell trial batches through run_gossip_sweep, then
+/// one-sided quantile tests against the claimed envelopes —
+///   ears  time      n/(n-f) * log^2 n * (d + delta)
+///   ears  messages  n * log^3 n * (d + delta)
+///   tears time      d + delta
+///   tears messages  n^(7/4) * log^2 n
+/// with the constant fitted on the smallest-n calibration column.
+StatReport run_gossip_statcheck(const GossipStatCheckOptions& options);
+
+/// run_info key/value pairs for write_statcheck_json describing a
+/// statcheck invocation.
+std::vector<std::pair<std::string, std::string>> statcheck_run_info(
+    const GossipStatCheckOptions& options);
+
+}  // namespace asyncgossip

@@ -36,6 +36,20 @@ const char* to_string(GossipAlgorithm algorithm) {
   return "?";
 }
 
+bool algorithm_from_string(const std::string& name, GossipAlgorithm* out) {
+  if (name == "trivial") *out = GossipAlgorithm::kTrivial;
+  else if (name == "ears") *out = GossipAlgorithm::kEars;
+  else if (name == "sears") *out = GossipAlgorithm::kSears;
+  else if (name == "tears") *out = GossipAlgorithm::kTears;
+  else if (name == "sync") *out = GossipAlgorithm::kSync;
+  else if (name == "ears-no-informed-list")
+    *out = GossipAlgorithm::kEarsNoInformedList;
+  else if (name == "lazy") *out = GossipAlgorithm::kLazy;
+  else if (name == "round-robin") *out = GossipAlgorithm::kRoundRobin;
+  else return false;
+  return true;
+}
+
 std::vector<std::unique_ptr<Process>> make_gossip_processes(
     const GossipSpec& spec) {
   AG_ASSERT_MSG(spec.n >= 2, "gossip spec needs n >= 2");
@@ -208,9 +222,43 @@ std::vector<GossipSweepResult> run_gossip_sweep(
     const std::vector<GossipSpec>& specs, std::size_t jobs) {
   std::vector<GossipSweepResult> results(specs.size());
   const SweepRunner runner(jobs);
-  runner.run(specs.size(),
-             [&](std::size_t i) { results[i] = run_spec_result(specs[i]); });
-  return results;
+  std::vector<std::exception_ptr> errors;
+  const std::size_t failed = runner.run_collecting(
+      specs.size(),
+      [&](std::size_t i) { results[i] = run_spec_result(specs[i]); }, errors);
+  if (failed == 0) return results;
+
+  std::size_t lowest = 0;
+  while (errors[lowest] == nullptr) ++lowest;
+  if (failed == 1) std::rethrow_exception(errors[lowest]);
+
+  // More than one spec failed: still surface the lowest-index exception
+  // (reruns stay reproducible), but record how widespread the failure was.
+  std::string context = " [sweep: " + std::to_string(failed) + " of " +
+                        std::to_string(specs.size()) +
+                        " specs failed; also failing:";
+  constexpr std::size_t kMaxLabels = 3;
+  std::size_t listed = 0;
+  for (std::size_t i = lowest + 1; i < specs.size(); ++i) {
+    if (errors[i] == nullptr) continue;
+    if (listed == kMaxLabels) {
+      context += ", ...";
+      break;
+    }
+    context += (listed == 0 ? " " : ", ") + spec_label(specs[i]) +
+               "/seed:" + std::to_string(specs[i].seed);
+    ++listed;
+  }
+  context += ']';
+  try {
+    std::rethrow_exception(errors[lowest]);
+  } catch (const ModelViolation& e) {
+    throw ModelViolation(e.what() + context);
+  } catch (const ApiError& e) {
+    throw ApiError(e.what() + context);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(e.what() + context);
+  }
 }
 
 AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec) {

@@ -38,6 +38,12 @@ enum class GossipAlgorithm {
 
 const char* to_string(GossipAlgorithm algorithm);
 
+/// Inverse of to_string (the same flag-style names, e.g. "ears",
+/// "ears-no-informed-list"). Returns false on an unknown name, leaving
+/// *out untouched. Shared by gossiplab's flag parsing and the
+/// repro-artifact reader (gossip/spec_json.h).
+bool algorithm_from_string(const std::string& name, GossipAlgorithm* out);
+
 struct GossipSpec {
   GossipAlgorithm algorithm = GossipAlgorithm::kEars;
   std::size_t n = 0;
@@ -128,7 +134,9 @@ struct GossipSweepResult {
 /// concurrently, so with jobs > 1 any spec.telemetry collectors must be
 /// distinct objects (one per spec). If a run throws (step-budget API error,
 /// audit violation, ...), the remaining runs still finish and the exception
-/// of the lowest-index failing spec is rethrown.
+/// of the lowest-index failing spec is rethrown; when more than one spec
+/// failed, the rethrown message additionally records the total failure
+/// count and the labels of the first few other failing specs.
 std::vector<GossipSweepResult> run_gossip_sweep(
     const std::vector<GossipSpec>& specs, std::size_t jobs = 0);
 

@@ -1,0 +1,46 @@
+// GossipSpec <-> JSON repro artifacts ("asyncgossip-repro-v1").
+//
+// A shrunk fuzz counterexample must survive its finder: the artifact is a
+// small self-describing JSON document carrying the full GossipSpec, the
+// expected engine trace hash, and the failure string, so that
+// `gossiplab replay artifact.spec.json` can re-execute the run
+// bit-identically and verify the fingerprint years later. 64-bit fields
+// whose values can exceed 2^53 (seed, trace_hash) are serialized as decimal
+// *strings* — JSON numbers are doubles downstream.
+//
+// The reader is a minimal recursive-descent parser for this one schema
+// (objects, strings, numbers, booleans); the repo deliberately has no JSON
+// library dependency, and artifacts it writes are checked against the
+// strict RFC 8259 validator (sim/telemetry_export.h) in tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+
+/// A replayable failing-case artifact.
+struct ReproArtifact {
+  GossipSpec spec;
+  /// Expected Engine::trace_hash() of the run (the determinism fingerprint
+  /// replay verifies).
+  std::uint64_t trace_hash = 0;
+  /// The postcondition / invariant the case failed ("" for a hand-written
+  /// artifact that is just a pinned execution).
+  std::string failure;
+};
+
+/// Writes the artifact as an "asyncgossip-repro-v1" JSON document.
+void write_repro_json(std::ostream& os, const ReproArtifact& artifact);
+
+/// Parses a document written by write_repro_json (or by hand). On failure
+/// returns false and stores a short description in *error when non-null.
+/// Unknown keys are ignored; "schema", "spec.algorithm" and "spec.n" are
+/// required.
+bool read_repro_json(std::istream& is, ReproArtifact* out,
+                     std::string* error = nullptr);
+
+}  // namespace asyncgossip

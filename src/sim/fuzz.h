@@ -1,0 +1,133 @@
+// Seeded schedule fuzzer over the oblivious-adversary configuration space.
+//
+// The paper's guarantees are "for every oblivious adversary", but the test
+// suite can only ever pin down hand-picked schedules. The fuzzer closes the
+// gap by *sampling* the adversary space — population sizes, crash budgets,
+// (d, delta) bounds, schedule/delay patterns, crash horizons and seeds —
+// and running an oracle (the full simulation plus its postconditions) on
+// every sampled case. Everything is a pure function of the fuzz seed, so a
+// failing case is already a deterministic repro before any shrinking.
+//
+// Layering: sim/ cannot see gossip-level types, so a case carries an
+// *opaque* algorithm index and the oracle is a caller-supplied callback;
+// gossip/fuzz_harness.h provides the gossip oracle (postconditions,
+// envelope checks, artifact emission) on top of this loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/audit.h"
+#include "sim/oblivious.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+/// One sampled point of the adversary-configuration space. Everything the
+/// oracle needs to rebuild the run deterministically.
+struct FuzzCase {
+  std::size_t algorithm = 0;  // index into the caller's algorithm list
+  std::size_t n = 2;
+  std::size_t f = 0;
+  Time d = 1;
+  Time delta = 1;
+  SchedulePattern schedule = SchedulePattern::kLockStep;
+  DelayPattern delay = DelayPattern::kUnitDelay;
+  Time crash_horizon = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Compact label: "alg#1/n:16/f:4/d:3/delta:2/sched:staggered/..." — the
+/// caller usually substitutes the algorithm name for the index.
+std::string to_string(const FuzzCase& c);
+
+bool operator==(const FuzzCase& a, const FuzzCase& b);
+inline bool operator!=(const FuzzCase& a, const FuzzCase& b) {
+  return !(a == b);
+}
+
+/// The region of the configuration space the fuzzer samples from.
+struct FuzzDomain {
+  /// Number of algorithm indices (cases get a uniform index in [0, this)).
+  std::size_t algorithms = 1;
+  /// Population sizes to draw from (uniform over the list).
+  std::vector<std::size_t> ns = {8, 12, 16, 24, 32, 48};
+  /// f is drawn uniformly in [0, floor(max_f_fraction * n)], additionally
+  /// clamped to n - 1.
+  double max_f_fraction = 0.45;
+  /// d and delta are drawn uniformly in [1, max_d] x [1, max_delta].
+  Time max_d = 8;
+  Time max_delta = 6;
+  /// Crash horizon drawn uniformly in [1, max_crash_horizon].
+  Time max_crash_horizon = 64;
+  /// Pattern palettes (uniform over each list).
+  std::vector<SchedulePattern> schedules = {
+      SchedulePattern::kLockStep, SchedulePattern::kStaggered,
+      SchedulePattern::kRandomSubset, SchedulePattern::kRotating,
+      SchedulePattern::kStraggler};
+  std::vector<DelayPattern> delays = {
+      DelayPattern::kUnitDelay, DelayPattern::kMaxDelay, DelayPattern::kUniform,
+      DelayPattern::kBimodal, DelayPattern::kTargetedSlow};
+};
+
+/// Draws one case; consumes a deterministic amount of `rng` state, so the
+/// i-th sampled case is a pure function of (domain, fuzz seed, i).
+FuzzCase sample_case(const FuzzDomain& domain, Xoshiro256SS& rng);
+
+/// The oracle's judgement of one case.
+struct FuzzVerdict {
+  bool ok = true;
+  /// First failed check, e.g. "audit: ..." / "postcondition: gathering" /
+  /// "envelope: time ...". Empty when ok.
+  std::string failure;
+  /// The engine's determinism fingerprint for the run (0 if unavailable).
+  std::uint64_t trace_hash = 0;
+};
+
+/// Runs one case end to end and judges it. Must be deterministic: the same
+/// case must always produce the same verdict.
+using FuzzOracle = std::function<FuzzVerdict(const FuzzCase&)>;
+
+struct FuzzOptions {
+  /// Number of cases to sample (an iteration cap, not a target: the loop
+  /// also stops on the time budget or on the failure limit below).
+  std::uint64_t iterations = 200;
+  /// Seed of the case-sampling stream.
+  std::uint64_t seed = 1;
+  /// Wall-clock budget in milliseconds; 0 = unlimited. Checked between
+  /// cases, so one case can overshoot by its own runtime.
+  std::uint64_t time_budget_ms = 0;
+  /// Stop after this many failing cases (>= 1).
+  std::uint64_t max_failures = 1;
+};
+
+struct FuzzFailure {
+  FuzzCase c;
+  FuzzVerdict verdict;
+  std::uint64_t iteration = 0;  // 0-based index into the sampled stream
+};
+
+struct FuzzReport {
+  std::uint64_t cases_run = 0;
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// The fuzz loop: sample — run — judge, until the iteration cap, the time
+/// budget, or max_failures failing cases.
+FuzzReport run_fuzz(const FuzzDomain& domain, const FuzzOptions& options,
+                    const FuzzOracle& oracle);
+
+/// Replays a recorded event stream through a fresh InvariantAuditor, the
+/// same way tools/tracecheck lints trace files. The fuzz harness uses this
+/// to re-audit *mutated* copies of an execution's event stream (test-only
+/// fault injection), which is how the fuzzer's detection path is itself
+/// tested end to end.
+ViolationReport audit_events(const std::vector<TraceRecorder::Event>& events,
+                             const AuditConfig& config, bool finalize = true);
+
+}  // namespace asyncgossip

@@ -38,6 +38,26 @@ const char* to_string(DelayPattern pattern) {
   return "?";
 }
 
+bool schedule_from_string(const std::string& name, SchedulePattern* out) {
+  if (name == "lockstep") *out = SchedulePattern::kLockStep;
+  else if (name == "staggered") *out = SchedulePattern::kStaggered;
+  else if (name == "random") *out = SchedulePattern::kRandomSubset;
+  else if (name == "rotating") *out = SchedulePattern::kRotating;
+  else if (name == "straggler") *out = SchedulePattern::kStraggler;
+  else return false;
+  return true;
+}
+
+bool delay_from_string(const std::string& name, DelayPattern* out) {
+  if (name == "unit") *out = DelayPattern::kUnitDelay;
+  else if (name == "max") *out = DelayPattern::kMaxDelay;
+  else if (name == "uniform") *out = DelayPattern::kUniform;
+  else if (name == "bimodal") *out = DelayPattern::kBimodal;
+  else if (name == "targeted") *out = DelayPattern::kTargetedSlow;
+  else return false;
+  return true;
+}
+
 CrashPlan no_crashes() { return {}; }
 
 CrashPlan random_crashes(std::size_t n, std::size_t f, Time horizon,

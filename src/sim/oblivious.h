@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,12 @@ enum class DelayPattern {
 /// Flag-style names matching gossiplab's --schedule / --delay values.
 const char* to_string(SchedulePattern pattern);
 const char* to_string(DelayPattern pattern);
+
+/// Inverse of to_string (the same flag-style names). Returns false on an
+/// unknown name, leaving *out untouched. Shared by gossiplab's flag parsing
+/// and the repro-artifact JSON reader (gossip/spec_json.h).
+bool schedule_from_string(const std::string& name, SchedulePattern* out);
+bool delay_from_string(const std::string& name, DelayPattern* out);
 
 /// A pre-committed crash plan: (time, process) pairs, at most f of them.
 using CrashPlan = std::vector<std::pair<Time, ProcessId>>;

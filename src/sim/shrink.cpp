@@ -1,0 +1,112 @@
+#include "sim/shrink.h"
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+namespace {
+
+/// All single-step simplifications of `c`, most aggressive first so the
+/// greedy loop takes big leaps before fine-tuning. Every candidate is
+/// strictly "simpler" under the lexicographic order (crashes, n, patterns,
+/// d, delta, horizon, seed), which makes the greedy loop terminate: each
+/// accepted candidate strictly decreases a well-founded measure.
+std::vector<FuzzCase> candidates(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  const auto push = [&](FuzzCase v) {
+    if (v != c) out.push_back(v);
+  };
+
+  // Drop or thin the crash set.
+  if (c.f > 0) {
+    FuzzCase v = c;
+    v.f = 0;
+    push(v);
+    v = c;
+    v.f = c.f / 2;
+    push(v);
+    v = c;
+    v.f = c.f - 1;
+    push(v);
+  }
+  // Shrink the population (keep f < n).
+  for (std::size_t n : {std::size_t{2}, c.n / 2, c.n - 1}) {
+    if (n < 2 || n >= c.n) continue;
+    FuzzCase v = c;
+    v.n = n;
+    if (v.f >= v.n) v.f = v.n - 1;
+    push(v);
+  }
+  // Flatten the patterns.
+  if (c.schedule != SchedulePattern::kLockStep) {
+    FuzzCase v = c;
+    v.schedule = SchedulePattern::kLockStep;
+    push(v);
+  }
+  if (c.delay != DelayPattern::kUnitDelay) {
+    FuzzCase v = c;
+    v.delay = DelayPattern::kUnitDelay;
+    push(v);
+  }
+  // Flatten the model bounds.
+  for (Time d : {Time{1}, c.d / 2, c.d - 1}) {
+    if (d < 1 || d >= c.d) continue;
+    FuzzCase v = c;
+    v.d = d;
+    push(v);
+  }
+  for (Time delta : {Time{1}, c.delta / 2, c.delta - 1}) {
+    if (delta < 1 || delta >= c.delta) continue;
+    FuzzCase v = c;
+    v.delta = delta;
+    push(v);
+  }
+  // Squeeze crashes into the opening steps (simpler to read in a trace).
+  for (Time h : {Time{1}, c.crash_horizon / 2}) {
+    if (h < 1 || h >= c.crash_horizon) continue;
+    FuzzCase v = c;
+    v.crash_horizon = h;
+    push(v);
+  }
+  // Canonicalize the seed last: only once the structure is minimal.
+  if (c.seed != 1) {
+    FuzzCase v = c;
+    v.seed = 1;
+    push(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& failing, const FuzzVerdict& verdict,
+                         const FuzzOracle& oracle,
+                         const ShrinkOptions& options) {
+  AG_ASSERT_MSG(!verdict.ok, "shrink_case needs a failing case");
+  AG_ASSERT_MSG(static_cast<bool>(oracle), "shrink_case needs an oracle");
+
+  ShrinkResult result;
+  result.minimal = failing;
+  result.verdict = verdict;
+
+  bool improved = true;
+  while (improved && result.attempts < options.max_attempts) {
+    improved = false;
+    ++result.rounds;
+    for (const FuzzCase& candidate : candidates(result.minimal)) {
+      if (result.attempts >= options.max_attempts) break;
+      ++result.attempts;
+      FuzzVerdict v = oracle(candidate);
+      if (!v.ok) {
+        result.minimal = candidate;
+        result.verdict = std::move(v);
+        improved = true;
+        break;  // restart the candidate list from the simpler case
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,47 @@
+// Greedy failing-case shrinking for fuzz counterexamples.
+//
+// A raw fuzz failure is reproducible but rarely *readable*: n = 48 with 19
+// crashes over a bimodal network obscures which ingredient matters. The
+// shrinker repeatedly proposes simpler variants of the failing case — drop
+// the crashes, shrink n, flatten the delay and schedule patterns,
+// canonicalize the seed — and keeps a variant iff the oracle still fails on
+// it. The result is a local minimum: no single simplification below it
+// still fails. Like everything else in the repo, the procedure is
+// deterministic — candidates are tried in a fixed order, so the same
+// (case, oracle) pair always shrinks to the same minimum.
+//
+// The shrinker accepts a candidate on *any* oracle failure, not only the
+// original failure string: a simpler case that fails differently is still a
+// bug, and chasing it keeps shrinking monotone.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/fuzz.h"
+
+namespace asyncgossip {
+
+struct ShrinkOptions {
+  /// Cap on oracle invocations across the whole shrink.
+  std::size_t max_attempts = 500;
+};
+
+struct ShrinkResult {
+  /// The minimal failing case found (== the input case when nothing
+  /// simpler fails).
+  FuzzCase minimal;
+  /// The oracle's verdict on `minimal` (always a failure).
+  FuzzVerdict verdict;
+  /// Oracle invocations spent.
+  std::size_t attempts = 0;
+  /// Greedy passes over the transformation list until a fixpoint.
+  std::size_t rounds = 0;
+};
+
+/// Greedily shrinks `failing` (whose oracle verdict is `verdict`, not ok)
+/// to a locally minimal failing case.
+ShrinkResult shrink_case(const FuzzCase& failing, const FuzzVerdict& verdict,
+                         const FuzzOracle& oracle,
+                         const ShrinkOptions& options = {});
+
+}  // namespace asyncgossip

@@ -16,9 +16,17 @@ SweepRunner::SweepRunner(std::size_t jobs) : jobs_(jobs) {
 
 void SweepRunner::run(std::size_t count,
                       const std::function<void(std::size_t)>& fn) const {
-  if (count == 0) return;
+  std::vector<std::exception_ptr> errors;
+  run_collecting(count, fn, errors);
+  for (std::size_t i = 0; i < count; ++i)
+    if (errors[i] != nullptr) std::rethrow_exception(errors[i]);
+}
 
-  std::vector<std::exception_ptr> errors(count);
+std::size_t SweepRunner::run_collecting(
+    std::size_t count, const std::function<void(std::size_t)>& fn,
+    std::vector<std::exception_ptr>& errors) const {
+  errors.assign(count, nullptr);
+  if (count == 0) return 0;
 
   if (jobs_ <= 1 || count == 1) {
     for (std::size_t i = 0; i < count; ++i) {
@@ -48,8 +56,10 @@ void SweepRunner::run(std::size_t count,
     for (std::thread& t : pool) t.join();
   }
 
-  for (std::size_t i = 0; i < count; ++i)
-    if (errors[i] != nullptr) std::rethrow_exception(errors[i]);
+  std::size_t failed = 0;
+  for (const std::exception_ptr& e : errors)
+    if (e != nullptr) ++failed;
+  return failed;
 }
 
 }  // namespace asyncgossip

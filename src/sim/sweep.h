@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <vector>
 
 namespace asyncgossip {
 
@@ -34,6 +36,15 @@ class SweepRunner {
   /// task is rethrown after every worker has drained (remaining tasks still
   /// run, so a throw cannot leave silent holes in the result vector).
   void run(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+  /// Like run(), but never throws task exceptions: `errors` is resized to
+  /// `count` and errors[i] holds the exception task i threw (nullptr where
+  /// it succeeded). Returns the number of failed tasks. Callers that can
+  /// name their tasks (e.g. run_gossip_sweep) use this to report *every*
+  /// failure instead of only the lowest-index one.
+  std::size_t run_collecting(std::size_t count,
+                             const std::function<void(std::size_t)>& fn,
+                             std::vector<std::exception_ptr>& errors) const;
 
  private:
   std::size_t jobs_;

@@ -1,0 +1,306 @@
+#include "sim/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "gossip/fuzz_harness.h"
+#include "gossip/spec_json.h"
+#include "sim/telemetry_export.h"
+
+namespace asyncgossip {
+namespace {
+
+TEST(FuzzSample, DeterministicStream) {
+  FuzzDomain domain;
+  domain.algorithms = 4;
+  Xoshiro256SS a(99), b(99);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(sample_case(domain, a), sample_case(domain, b));
+}
+
+TEST(FuzzSample, RespectsDomain) {
+  FuzzDomain domain;
+  domain.algorithms = 3;
+  Xoshiro256SS rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const FuzzCase c = sample_case(domain, rng);
+    EXPECT_LT(c.algorithm, domain.algorithms);
+    EXPECT_GE(c.n, 2u);
+    // f stays within the fraction cap and below n.
+    EXPECT_LE(static_cast<double>(c.f),
+              domain.max_f_fraction * static_cast<double>(c.n));
+    EXPECT_LT(c.f, c.n);
+    EXPECT_GE(c.d, 1u);
+    EXPECT_LE(c.d, domain.max_d);
+    EXPECT_GE(c.delta, 1u);
+    EXPECT_LE(c.delta, domain.max_delta);
+    EXPECT_GE(c.crash_horizon, 1u);
+    EXPECT_LE(c.crash_horizon, domain.max_crash_horizon);
+  }
+}
+
+TEST(FuzzLoop, StopsAtMaxFailures) {
+  FuzzDomain domain;
+  FuzzOptions options;
+  options.iterations = 100;
+  options.max_failures = 3;
+  std::size_t calls = 0;
+  const FuzzReport report = run_fuzz(domain, options, [&](const FuzzCase&) {
+    ++calls;
+    FuzzVerdict v;
+    v.ok = false;
+    v.failure = "always";
+    return v;
+  });
+  EXPECT_EQ(report.failures.size(), 3u);
+  EXPECT_EQ(report.cases_run, 3u);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failures[2].iteration, 2u);
+}
+
+TEST(FuzzLoop, SampledCasesArePrefixStable) {
+  // The i-th case depends only on (domain, seed, i): a short run samples a
+  // prefix of a long run's cases.
+  FuzzDomain domain;
+  const auto collect = [&](std::uint64_t iterations) {
+    FuzzOptions options;
+    options.iterations = iterations;
+    options.seed = 5;
+    options.max_failures = iterations + 1;  // never stop early
+    std::vector<FuzzCase> cases;
+    run_fuzz(domain, options, [&](const FuzzCase& c) {
+      cases.push_back(c);
+      FuzzVerdict v;
+      v.ok = false;  // count every case, stop never (limit above)
+      return v;
+    });
+    return cases;
+  };
+  const std::vector<FuzzCase> small = collect(4);
+  const std::vector<FuzzCase> large = collect(12);
+  ASSERT_EQ(small.size(), 4u);
+  ASSERT_EQ(large.size(), 12u);
+  for (std::size_t i = 0; i < small.size(); ++i)
+    EXPECT_EQ(small[i], large[i]) << "case " << i << " not prefix-stable";
+}
+
+TEST(AuditEvents, CleanStreamPasses) {
+  AuditConfig cfg;
+  cfg.n = 2;
+  cfg.d = 1;
+  cfg.delta = 1;
+  std::vector<TraceRecorder::Event> events;
+  using Kind = TraceRecorder::EventKind;
+  events.push_back({Kind::kStep, 0, 0, kNoProcess, 0, 0, 0});
+  events.push_back({Kind::kStep, 0, 1, kNoProcess, 0, 0, 0});
+  EXPECT_TRUE(audit_events(events, cfg).ok());
+}
+
+TEST(AuditEvents, DetectsDuplicatedStep) {
+  AuditConfig cfg;
+  cfg.n = 2;
+  cfg.d = 1;
+  cfg.delta = 1;
+  std::vector<TraceRecorder::Event> events;
+  using Kind = TraceRecorder::EventKind;
+  events.push_back({Kind::kStep, 0, 0, kNoProcess, 0, 0, 0});
+  events.push_back({Kind::kStep, 0, 0, kNoProcess, 0, 0, 0});
+  events.push_back({Kind::kStep, 0, 1, kNoProcess, 0, 0, 0});
+  const ViolationReport report = audit_events(events, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.count(ViolationKind::kDoubleStep), 1u);
+}
+
+// --- the gossip oracle ------------------------------------------------------
+
+FuzzCase small_case() {
+  FuzzCase c;
+  c.algorithm = 1;  // ears (see fuzz_algorithms())
+  c.n = 8;
+  c.f = 2;
+  c.d = 2;
+  c.delta = 2;
+  c.schedule = SchedulePattern::kStaggered;
+  c.delay = DelayPattern::kUniform;
+  c.crash_horizon = 16;
+  c.seed = 42;
+  return c;
+}
+
+TEST(GossipOracle, CleanRunPasses) {
+  const FuzzOracle oracle = make_gossip_fuzz_oracle();
+  const FuzzVerdict v = oracle(small_case());
+  EXPECT_TRUE(v.ok) << v.failure;
+  EXPECT_NE(v.trace_hash, 0u);
+}
+
+TEST(GossipOracle, Deterministic) {
+  const FuzzOracle oracle = make_gossip_fuzz_oracle();
+  const FuzzVerdict a = oracle(small_case());
+  const FuzzVerdict b = oracle(small_case());
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+}
+
+TEST(GossipOracle, InjectedViolationIsDetectedWithoutPerturbingTheRun) {
+  // The mutation corrupts an offline copy of the event stream, so the
+  // oracle must flag it while reporting the *unchanged* trace hash of the
+  // honest run — that is what keeps the shrunk artifact replayable.
+  EventMutator mutate;
+  ASSERT_TRUE(event_mutator_from_string("double-step", &mutate));
+  const FuzzOracle clean = make_gossip_fuzz_oracle();
+  const FuzzOracle injected = make_gossip_fuzz_oracle(mutate);
+  const FuzzVerdict honest = clean(small_case());
+  const FuzzVerdict v = injected(small_case());
+  ASSERT_TRUE(honest.ok) << honest.failure;
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure.rfind("injected-audit:", 0), 0u) << v.failure;
+  EXPECT_EQ(v.trace_hash, honest.trace_hash);
+}
+
+TEST(GossipOracle, UnknownMutatorNameRejected) {
+  EventMutator mutate;
+  EXPECT_FALSE(event_mutator_from_string("no-such-mutator", &mutate));
+  for (const char* name : {"late-delivery", "double-step", "phantom-crash"})
+    EXPECT_TRUE(event_mutator_from_string(name, &mutate)) << name;
+}
+
+TEST(GossipOracle, SpecFromCaseRejectsBadAlgorithmIndex) {
+  FuzzCase c = small_case();
+  c.algorithm = fuzz_algorithms().size();
+  EXPECT_THROW(spec_from_fuzz_case(c), ApiError);
+}
+
+// --- the full pipeline: find -> shrink -> artifact -> replay ---------------
+
+TEST(GossipFuzz, FindsInjectedViolationShrinksAndReplays) {
+  GossipFuzzOptions options;
+  options.fuzz.iterations = 10;
+  options.fuzz.seed = 3;
+  ASSERT_TRUE(event_mutator_from_string("double-step", &options.mutate));
+  options.artifact_prefix = testing::TempDir() + "asyncgossip_fuzz_pipeline";
+  const GossipFuzzResult result = run_gossip_fuzz(options);
+
+  ASSERT_TRUE(result.found_failure);
+  EXPECT_EQ(result.minimal_verdict.failure.rfind("injected-audit:", 0), 0u);
+  // The shrunk case is no more complex than the original failure.
+  const FuzzCase& original = result.report.failures.front().c;
+  EXPECT_LE(result.minimal.n, original.n);
+  EXPECT_LE(result.minimal.f, original.f);
+
+  // The artifact round-trips and replays bit-identically.
+  ASSERT_FALSE(result.spec_artifact.empty());
+  std::ifstream is(result.spec_artifact);
+  ASSERT_TRUE(is.good());
+  ReproArtifact artifact;
+  std::string error;
+  ASSERT_TRUE(read_repro_json(is, &artifact, &error)) << error;
+  EXPECT_EQ(artifact.trace_hash, result.minimal_verdict.trace_hash);
+  std::string detail;
+  EXPECT_TRUE(replay_repro(artifact, &detail)) << detail;
+
+  std::remove(result.spec_artifact.c_str());
+  std::remove(result.trace_artifact.c_str());
+}
+
+TEST(GossipFuzz, CleanSmokeSweepFindsNothing) {
+  // A short honest fuzz sweep over every algorithm must come back clean —
+  // this is the PR-CI smoke slice in miniature.
+  GossipFuzzOptions options;
+  options.fuzz.iterations = 25;
+  options.fuzz.seed = 1;
+  const GossipFuzzResult result = run_gossip_fuzz(options);
+  EXPECT_FALSE(result.found_failure)
+      << gossip_case_label(result.report.failures.front().c) << ": "
+      << result.report.failures.front().verdict.failure;
+  EXPECT_EQ(result.report.cases_run, 25u);
+}
+
+// --- repro artifact JSON ----------------------------------------------------
+
+TEST(SpecJson, RoundTripsAllFields) {
+  ReproArtifact artifact;
+  artifact.spec.algorithm = GossipAlgorithm::kTears;
+  artifact.spec.n = 17;
+  artifact.spec.f = 5;
+  artifact.spec.d = 3;
+  artifact.spec.delta = 2;
+  // Seeds above 2^53 must survive: they travel as decimal strings.
+  artifact.spec.seed = 0xFFFFFFFFFFFFFFF5ULL;
+  artifact.spec.schedule = SchedulePattern::kStraggler;
+  artifact.spec.delay = DelayPattern::kBimodal;
+  artifact.spec.crash_horizon = 9;
+  artifact.spec.sears_epsilon = 0.25;
+  artifact.spec.max_steps = 1234;
+  artifact.trace_hash = 0xFFFFFFFFFFFFFFFEULL;
+  artifact.failure = "postcondition: \"majority\"\n(second line)";
+
+  std::ostringstream os;
+  write_repro_json(os, artifact);
+  std::string json_err;
+  EXPECT_TRUE(json_valid(os.str(), &json_err)) << json_err;
+
+  std::istringstream is(os.str());
+  ReproArtifact back;
+  std::string error;
+  ASSERT_TRUE(read_repro_json(is, &back, &error)) << error;
+  EXPECT_EQ(back.spec.algorithm, artifact.spec.algorithm);
+  EXPECT_EQ(back.spec.n, artifact.spec.n);
+  EXPECT_EQ(back.spec.f, artifact.spec.f);
+  EXPECT_EQ(back.spec.d, artifact.spec.d);
+  EXPECT_EQ(back.spec.delta, artifact.spec.delta);
+  EXPECT_EQ(back.spec.seed, artifact.spec.seed);
+  EXPECT_EQ(back.spec.schedule, artifact.spec.schedule);
+  EXPECT_EQ(back.spec.delay, artifact.spec.delay);
+  EXPECT_EQ(back.spec.crash_horizon, artifact.spec.crash_horizon);
+  EXPECT_DOUBLE_EQ(back.spec.sears_epsilon, artifact.spec.sears_epsilon);
+  EXPECT_EQ(back.spec.max_steps, artifact.spec.max_steps);
+  EXPECT_EQ(back.trace_hash, artifact.trace_hash);
+  EXPECT_EQ(back.failure, artifact.failure);
+}
+
+TEST(SpecJson, RejectsBadDocuments) {
+  const auto rejects = [](const std::string& text) {
+    std::istringstream is(text);
+    ReproArtifact artifact;
+    std::string error;
+    const bool ok = read_repro_json(is, &artifact, &error);
+    EXPECT_FALSE(ok) << text;
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+  };
+  rejects("");
+  rejects("{}");  // missing schema
+  rejects(R"({"schema": "something-else", "spec": {"algorithm": "ears", "n": 4}})");
+  rejects(R"({"schema": "asyncgossip-repro-v1", "spec": {"n": 4}})");
+  rejects(R"({"schema": "asyncgossip-repro-v1", "spec": {"algorithm": "nope", "n": 4}})");
+  rejects(R"({"schema": "asyncgossip-repro-v1", "spec": {"algorithm": "ears"}})");
+  rejects(R"({"schema": "asyncgossip-repro-v1", "spec": {"algorithm": "ears", "n": 4, "f": 9}})");
+  rejects(R"({"schema": "asyncgossip-repro-v1", "spec": {"algorithm": "ears", "n": 4}} trailing)");
+}
+
+TEST(SpecJson, IgnoresUnknownKeys) {
+  const std::string text = R"({
+    "schema": "asyncgossip-repro-v1",
+    "future_field": {"nested": 1},
+    "spec": {"algorithm": "sync", "n": 6, "new_knob": "whatever"}
+  })";
+  std::istringstream is(text);
+  ReproArtifact artifact;
+  std::string error;
+  ASSERT_TRUE(read_repro_json(is, &artifact, &error)) << error;
+  EXPECT_EQ(artifact.spec.algorithm, GossipAlgorithm::kSync);
+  EXPECT_EQ(artifact.spec.n, 6u);
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,136 @@
+#include "sim/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+namespace {
+
+FuzzCase big_case() {
+  FuzzCase c;
+  c.algorithm = 2;
+  c.n = 48;
+  c.f = 20;
+  c.d = 7;
+  c.delta = 5;
+  c.schedule = SchedulePattern::kStraggler;
+  c.delay = DelayPattern::kBimodal;
+  c.crash_horizon = 60;
+  c.seed = 0xABCDEF1234ULL;
+  return c;
+}
+
+FuzzVerdict failing(const char* why = "boom") {
+  FuzzVerdict v;
+  v.ok = false;
+  v.failure = why;
+  return v;
+}
+
+TEST(Shrink, AlwaysFailingOracleReachesTheGlobalMinimum) {
+  const FuzzOracle oracle = [](const FuzzCase&) { return failing(); };
+  const ShrinkResult r = shrink_case(big_case(), failing(), oracle);
+  EXPECT_EQ(r.minimal.n, 2u);
+  EXPECT_EQ(r.minimal.f, 0u);
+  EXPECT_EQ(r.minimal.d, 1u);
+  EXPECT_EQ(r.minimal.delta, 1u);
+  EXPECT_EQ(r.minimal.schedule, SchedulePattern::kLockStep);
+  EXPECT_EQ(r.minimal.delay, DelayPattern::kUnitDelay);
+  EXPECT_EQ(r.minimal.crash_horizon, 1u);
+  EXPECT_EQ(r.minimal.seed, 1u);
+  EXPECT_EQ(r.minimal.algorithm, 2u);  // never touched: not a complexity axis
+  EXPECT_FALSE(r.verdict.ok);
+  EXPECT_GT(r.rounds, 1u);
+}
+
+TEST(Shrink, PreservesTheFailureCondition) {
+  // Fails iff n >= 10 and f >= 2: the greedy walk must stop exactly at the
+  // boundary instead of overshooting to the global minimum.
+  const FuzzOracle oracle = [](const FuzzCase& c) {
+    if (c.n >= 10 && c.f >= 2) return failing("needs n>=10, f>=2");
+    return FuzzVerdict{};
+  };
+  const ShrinkResult r = shrink_case(big_case(), failing(), oracle);
+  EXPECT_EQ(r.minimal.n, 10u);
+  EXPECT_EQ(r.minimal.f, 2u);
+  // Everything unrelated to the condition still flattens fully.
+  EXPECT_EQ(r.minimal.d, 1u);
+  EXPECT_EQ(r.minimal.delta, 1u);
+  EXPECT_EQ(r.minimal.schedule, SchedulePattern::kLockStep);
+  EXPECT_EQ(r.minimal.seed, 1u);
+  // Local minimum: no candidate of the result still fails.
+  const FuzzVerdict check = oracle(r.minimal);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(Shrink, Deterministic) {
+  const FuzzOracle oracle = [](const FuzzCase& c) {
+    if (c.n * (c.d + c.delta) >= 40) return failing();
+    return FuzzVerdict{};
+  };
+  const ShrinkResult a = shrink_case(big_case(), failing(), oracle);
+  const ShrinkResult b = shrink_case(big_case(), failing(), oracle);
+  EXPECT_EQ(a.minimal, b.minimal);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Shrink, AcceptsADifferentFailureWhileShrinking) {
+  // A simpler case failing with a *different* message is still accepted;
+  // the final verdict carries the new failure.
+  const FuzzOracle oracle = [](const FuzzCase& c) {
+    if (c.n <= 10) return failing("small-case bug");
+    return failing("big-case bug");
+  };
+  const ShrinkResult r = shrink_case(big_case(), failing("big-case bug"),
+                                     oracle);
+  EXPECT_EQ(r.minimal.n, 2u);
+  EXPECT_EQ(r.verdict.failure, "small-case bug");
+}
+
+TEST(Shrink, RespectsMaxAttempts) {
+  std::size_t calls = 0;
+  const FuzzOracle oracle = [&](const FuzzCase&) {
+    ++calls;
+    return failing();
+  };
+  ShrinkOptions options;
+  options.max_attempts = 3;
+  const ShrinkResult r = shrink_case(big_case(), failing(), oracle, options);
+  EXPECT_LE(r.attempts, 3u);
+  EXPECT_EQ(calls, r.attempts);
+}
+
+TEST(Shrink, AlreadyMinimalCaseIsAFixpoint) {
+  FuzzCase minimal;
+  minimal.algorithm = 0;
+  minimal.n = 2;
+  minimal.f = 0;
+  minimal.d = 1;
+  minimal.delta = 1;
+  minimal.schedule = SchedulePattern::kLockStep;
+  minimal.delay = DelayPattern::kUnitDelay;
+  minimal.crash_horizon = 1;
+  minimal.seed = 1;
+  std::size_t calls = 0;
+  const FuzzOracle oracle = [&](const FuzzCase&) {
+    ++calls;
+    return failing();
+  };
+  const ShrinkResult r = shrink_case(minimal, failing(), oracle);
+  EXPECT_EQ(r.minimal, minimal);
+  EXPECT_EQ(calls, 0u);  // no candidate is simpler; the oracle never runs
+  EXPECT_EQ(r.rounds, 1u);
+}
+
+TEST(Shrink, RequiresAFailingVerdict) {
+  const FuzzOracle oracle = [](const FuzzCase&) { return FuzzVerdict{}; };
+  EXPECT_THROW(shrink_case(big_case(), FuzzVerdict{}, oracle),
+               ModelViolation);
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -11,7 +11,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "common/assert.h"
 
 #include "gossip/harness.h"
 
@@ -132,6 +135,51 @@ TEST(GossipSweep, MatchesIndividualRunsInInputOrder) {
         << "spec " << i;
     EXPECT_EQ(sweep[i].outcome.messages, solo.messages) << "spec " << i;
     EXPECT_EQ(sweep[i].outcome.completed, solo.completed) << "spec " << i;
+  }
+}
+
+TEST(GossipSweep, SingleFailureRethrowsTheOriginalMessage) {
+  // Exactly one failing spec: the exception must pass through untouched —
+  // no "[sweep: ...]" context for a failure that isn't widespread.
+  std::vector<GossipSpec> specs = grid32();
+  specs.resize(3);
+  specs[1].n = 1;  // make_gossip_processes rejects n < 2
+  specs[1].f = 0;
+  try {
+    run_gossip_sweep(specs, 2);
+    FAIL() << "expected a ModelViolation";
+  } catch (const ModelViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n >= 2"), std::string::npos) << what;
+    EXPECT_EQ(what.find("[sweep:"), std::string::npos) << what;
+  }
+}
+
+TEST(GossipSweep, MultiFailureMessageRecordsTheScope) {
+  // Several failing specs: the lowest-index exception still wins (reruns
+  // stay reproducible) but the message must record the failure count and
+  // name some of the other failing specs.
+  std::vector<GossipSpec> specs = grid32();
+  specs.resize(4);
+  for (std::size_t i : {std::size_t{1}, std::size_t{3}}) {
+    specs[i].n = 1;
+    specs[i].f = 0;
+  }
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      run_gossip_sweep(specs, jobs);
+      FAIL() << "expected a ModelViolation (jobs " << jobs << ")";
+    } catch (const ModelViolation& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("n >= 2"), std::string::npos) << what;
+      EXPECT_NE(what.find("[sweep: 2 of 4 specs failed"), std::string::npos)
+          << what;
+      // The non-rethrown failure (spec 3) is listed with its label + seed.
+      EXPECT_NE(what.find("also failing: " + spec_label(specs[3]) +
+                          "/seed:" + std::to_string(specs[3].seed)),
+                std::string::npos)
+          << what;
+    }
   }
 }
 

@@ -7,6 +7,10 @@
 //   lowerbound run the Theorem 1 adaptive adversary against an algorithm
 //   trace      run a small gossip execution and print its ASCII timeline
 //   report     run one gossip execution with telemetry, print the JSON report
+//   fuzz       sample adversary configurations, shrink any failing case to a
+//              replayable repro artifact (exit 1 when a failure was found)
+//   replay     re-execute a repro artifact, verify its pinned trace hash
+//   statcheck  statistical Table 1 bound check (asyncgossip-statcheck-v1 JSON)
 //
 // Every subcommand understands --help; unknown flags are rejected.
 //
@@ -20,6 +24,10 @@
 //   gossiplab gossip --alg tears --n 128 --f 32 --audit
 //   gossiplab report --algorithm ears --n 64 --f 16
 //   gossiplab report --alg tears --n 128 --f 32 --out run.json --spread-csv spread.csv
+//   gossiplab fuzz --iters 200 --seed 7 --out repro
+//   gossiplab fuzz --iters 20 --inject late-delivery --out repro
+//   gossiplab replay --in repro.spec.json
+//   gossiplab statcheck --trials 12 --n 12,16,24,32 --out statcheck.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +40,9 @@
 #include <vector>
 
 #include "consensus/canetti_rabin.h"
+#include "gossip/fuzz_harness.h"
 #include "gossip/harness.h"
+#include "gossip/spec_json.h"
 #include "lowerbound/adaptive.h"
 #include "sim/telemetry.h"
 #include "sim/telemetry_export.h"
@@ -143,15 +153,8 @@ std::vector<std::uint64_t> parse_list(const std::string& s) {
 }
 
 GossipAlgorithm parse_algorithm(const std::string& name) {
-  if (name == "trivial") return GossipAlgorithm::kTrivial;
-  if (name == "ears") return GossipAlgorithm::kEars;
-  if (name == "sears") return GossipAlgorithm::kSears;
-  if (name == "tears") return GossipAlgorithm::kTears;
-  if (name == "sync") return GossipAlgorithm::kSync;
-  if (name == "ears-no-informed-list")
-    return GossipAlgorithm::kEarsNoInformedList;
-  if (name == "lazy") return GossipAlgorithm::kLazy;
-  if (name == "round-robin") return GossipAlgorithm::kRoundRobin;
+  GossipAlgorithm out;
+  if (algorithm_from_string(name, &out)) return out;
   std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
   std::exit(2);
 }
@@ -166,21 +169,15 @@ ExchangeKind parse_exchange(const std::string& name) {
 }
 
 SchedulePattern parse_schedule(const std::string& name) {
-  if (name == "lockstep") return SchedulePattern::kLockStep;
-  if (name == "staggered") return SchedulePattern::kStaggered;
-  if (name == "random") return SchedulePattern::kRandomSubset;
-  if (name == "rotating") return SchedulePattern::kRotating;
-  if (name == "straggler") return SchedulePattern::kStraggler;
+  SchedulePattern out;
+  if (schedule_from_string(name, &out)) return out;
   std::fprintf(stderr, "unknown schedule: %s\n", name.c_str());
   std::exit(2);
 }
 
 DelayPattern parse_delay(const std::string& name) {
-  if (name == "unit") return DelayPattern::kUnitDelay;
-  if (name == "max") return DelayPattern::kMaxDelay;
-  if (name == "uniform") return DelayPattern::kUniform;
-  if (name == "bimodal") return DelayPattern::kBimodal;
-  if (name == "targeted") return DelayPattern::kTargetedSlow;
+  DelayPattern out;
+  if (delay_from_string(name, &out)) return out;
   std::fprintf(stderr, "unknown delay pattern: %s\n", name.c_str());
   std::exit(2);
 }
@@ -552,10 +549,148 @@ int cmd_report(const Flags& f) {
   return out.completed ? 0 : 1;
 }
 
+int cmd_fuzz(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab fuzz [flags]\n"
+        "sample oblivious-adversary configurations across every algorithm,\n"
+        "run each under the invariant auditor + gossip postconditions, and\n"
+        "shrink the first failing case to a replayable repro artifact\n"
+        "    --iters K           cases to sample (default 200)\n"
+        "    --seed S            fuzz stream seed (default 1)\n"
+        "    --budget-ms T       wall-clock budget, 0 = unlimited (default 0)\n"
+        "    --out PREFIX        artifact prefix; a failure writes\n"
+        "                        PREFIX.spec.json + PREFIX.trace (default\n"
+        "                        fuzz-repro)\n"
+        "    --inject NAME       test-only fault injection into an offline\n"
+        "                        copy of the event stream:\n"
+        "                        late-delivery|double-step|phantom-crash\n"
+        "exit status: 0 no failure found, 1 failure found and shrunk\n");
+    return 0;
+  }
+  check_flags("fuzz", f, {"iters", "seed", "budget-ms", "out", "inject"});
+  GossipFuzzOptions opt;
+  opt.fuzz.iterations = get_u64(f, "iters", 200);
+  opt.fuzz.seed = get_u64(f, "seed", 1);
+  opt.fuzz.time_budget_ms = get_u64(f, "budget-ms", 0);
+  opt.artifact_prefix = get_str(f, "out", "fuzz-repro");
+  const std::string inject = get_str(f, "inject", "");
+  if (!inject.empty() && !event_mutator_from_string(inject, &opt.mutate)) {
+    std::fprintf(stderr, "unknown --inject mutator: %s\n", inject.c_str());
+    return 2;
+  }
+  std::ostringstream log;
+  opt.log = &log;
+  const GossipFuzzResult result = run_gossip_fuzz(opt);
+  std::fputs(log.str().c_str(), stdout);
+  if (!result.found_failure) return 0;
+  std::printf("replay with: gossiplab replay --in %s\n",
+              result.spec_artifact.empty() ? "<artifact>"
+                                           : result.spec_artifact.c_str());
+  return 1;
+}
+
+int cmd_replay(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab replay --in ARTIFACT.spec.json\n"
+        "re-execute an asyncgossip-repro-v1 artifact (gossiplab fuzz output)\n"
+        "and verify the engine trace hash against the pinned fingerprint\n"
+        "exit status: 0 hash matches, 1 mismatch, 2 unreadable artifact\n");
+    return 0;
+  }
+  check_flags("replay", f, {"in"});
+  const std::string path = get_str(f, "in", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "replay: --in ARTIFACT.spec.json is required\n");
+    return 2;
+  }
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  ReproArtifact artifact;
+  std::string error;
+  if (!read_repro_json(is, &artifact, &error)) {
+    std::fprintf(stderr, "replay: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  if (!artifact.failure.empty())
+    std::printf("pinned failure: %s\n", artifact.failure.c_str());
+  std::string detail;
+  const bool match = replay_repro(artifact, &detail);
+  std::printf("%s\n", detail.c_str());
+  return match ? 0 : 1;
+}
+
+int cmd_statcheck(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab statcheck [flags]\n"
+        "statistical check of the paper's Table 1 envelopes for EARS and\n"
+        "TEARS: per-cell trial batches, one-sided quantile tests, constant\n"
+        "fitted on the smallest-n calibration column\n"
+        "    --trials K          seeds per cell (default 12)\n"
+        "    --seed S            base seed (default 1)\n"
+        "    --jobs J            worker threads (default 0 = all hardware)\n"
+        "    --n N1,N2,...       population grid (default 12,16,24,32)\n"
+        "    --fpct P            crash budget as %% of n (default 25)\n"
+        "    --quantile Q        order statistic in (0,1] (default 0.9)\n"
+        "    --slack C           calibration slack factor (default 3.0)\n"
+        "    --out PATH          write asyncgossip-statcheck-v1 JSON to PATH\n"
+        "                        (default: stdout)\n"
+        "exit status: 0 all cells pass, 1 a cell failed, 3 internal error\n");
+    return 0;
+  }
+  check_flags("statcheck", f, {"trials", "seed", "jobs", "n", "fpct",
+                               "quantile", "slack", "out"});
+  GossipStatCheckOptions opt;
+  opt.trials = get_u64(f, "trials", 12);
+  opt.seed = get_u64(f, "seed", 1);
+  opt.jobs = get_u64(f, "jobs", 0);
+  if (has_flag(f, "n")) {
+    opt.ns.clear();
+    for (const std::uint64_t n : parse_list(get_str(f, "n", "")))
+      opt.ns.push_back(static_cast<std::size_t>(n));
+  }
+  opt.f_fraction = static_cast<double>(get_u64(f, "fpct", 25)) / 100.0;
+  opt.stat.quantile = get_double(f, "quantile", 0.9);
+  opt.stat.slack = get_double(f, "slack", 3.0);
+  std::ostringstream log;
+  opt.log = &log;
+  const StatReport report = run_gossip_statcheck(opt);
+  std::fputs(log.str().c_str(), stderr);
+
+  auto run_info = statcheck_run_info(opt);
+  run_info.insert(run_info.begin(), {"tool", "gossiplab statcheck"});
+  std::ostringstream doc;
+  write_statcheck_json(doc, report, run_info);
+  std::string json_err;
+  if (!json_valid(doc.str(), &json_err)) {
+    std::fprintf(stderr, "internal error: statcheck report is not valid "
+                 "JSON: %s\n", json_err.c_str());
+    return 3;
+  }
+  if (has_flag(f, "out")) {
+    const std::string path = get_str(f, "out", "statcheck.json");
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 2;
+    }
+    os << doc.str();
+    std::fprintf(stderr, "wrote statcheck report to %s\n", path.c_str());
+  } else {
+    std::fputs(doc.str().c_str(), stdout);
+  }
+  return report.ok() ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: gossiplab <gossip|sweep|consensus|lowerbound|trace|"
-               "report> [--flag value ...]\n"
+               "report|fuzz|replay|statcheck> [--flag value ...]\n"
                "run `gossiplab <subcommand> --help` for flags, or see the\n"
                "tools/gossiplab.cpp header for examples\n");
 }
@@ -576,6 +711,9 @@ int main(int argc, char** argv) {
     if (cmd == "lowerbound") return cmd_lowerbound(flags);
     if (cmd == "trace") return cmd_trace(flags);
     if (cmd == "report") return cmd_report(flags);
+    if (cmd == "fuzz") return cmd_fuzz(flags);
+    if (cmd == "replay") return cmd_replay(flags);
+    if (cmd == "statcheck") return cmd_statcheck(flags);
     if (cmd == "--help" || cmd == "help") {
       usage();
       return 0;

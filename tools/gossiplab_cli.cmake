@@ -1,0 +1,90 @@
+# CLI contract smoke test for gossiplab:
+#   1. every subcommand's --help exits 0;
+#   2. an unknown flag and an unknown subcommand exit 2;
+#   3. the committed repro fixture replays with a matching trace hash;
+#   4. the fault-injection fuzz pipeline finds a failure (exit 1), shrinks
+#      it, writes spec + trace artifacts, and the spec artifact replays
+#      bit-identically (exit 0) while tracecheck accepts the trace artifact.
+# Driven by ctest; see tools/CMakeLists.txt.
+foreach(var GOSSIPLAB TRACECHECK WORKDIR FIXTURE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "gossiplab_cli.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+# 1. --help for every subcommand.
+foreach(sub gossip sweep consensus lowerbound trace report fuzz replay
+        statcheck)
+  execute_process(COMMAND "${GOSSIPLAB}" ${sub} --help
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gossiplab ${sub} --help exited ${rc}")
+  endif()
+  if(NOT out MATCHES "usage: gossiplab ${sub}")
+    message(FATAL_ERROR "gossiplab ${sub} --help printed no usage line")
+  endif()
+endforeach()
+
+# 2. Unknown flags and subcommands are rejected with exit 2.
+execute_process(COMMAND "${GOSSIPLAB}" gossip --no-such-flag 1
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown flag exited ${rc}, want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" frobnicate
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown subcommand exited ${rc}, want 2")
+endif()
+
+# 3. The committed fixture replays bit-identically.
+execute_process(COMMAND "${GOSSIPLAB}" replay --in "${FIXTURE}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fixture replay exited ${rc} (trace hash drifted?)")
+endif()
+
+# A corrupted pinned hash must be detected (exit 1).
+file(READ "${FIXTURE}" fixture_text)
+string(REGEX REPLACE "\"trace_hash\": \"[0-9]+\"" "\"trace_hash\": \"1\""
+       tampered_text "${fixture_text}")
+set(tampered "${WORKDIR}/gossiplab_cli_tampered.spec.json")
+file(WRITE "${tampered}" "${tampered_text}")
+execute_process(COMMAND "${GOSSIPLAB}" replay --in "${tampered}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "tampered fixture replay exited ${rc}, want 1")
+endif()
+
+# 4. The injection pipeline: find -> shrink -> artifacts -> replay.
+set(prefix "${WORKDIR}/gossiplab_cli_repro")
+execute_process(
+  COMMAND "${GOSSIPLAB}" fuzz --iters 20 --seed 3 --inject late-delivery
+          --out "${prefix}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "injected fuzz exited ${rc}, want 1 (failure found)")
+endif()
+if(NOT out MATCHES "injected-audit")
+  message(FATAL_ERROR "injected fuzz did not report an injected-audit "
+                      "failure:\n${out}")
+endif()
+foreach(artifact "${prefix}.spec.json" "${prefix}.trace")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "fuzz did not write ${artifact}")
+  endif()
+endforeach()
+execute_process(COMMAND "${GOSSIPLAB}" replay --in "${prefix}.spec.json"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shrunk artifact replay exited ${rc} (not "
+                      "bit-identical)")
+endif()
+execute_process(COMMAND "${TRACECHECK}" "${prefix}.trace"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tracecheck rejected the fuzz trace artifact "
+                      "(exit ${rc})")
+endif()
+
+message(STATUS "gossiplab CLI smoke test passed")
