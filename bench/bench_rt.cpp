@@ -1,0 +1,92 @@
+// Real-time runtime benchmarks: overhead of the threaded driver itself.
+//
+// Unlike the simulator benches, wall time here is mostly *deliberate* —
+// the TickClock paces steps in real microseconds — so raw steps/sec is not
+// the quantity of interest. What matters is (a) how much the run overshoots
+// its ideal pacing (driver + transport overhead and OS jitter show up as
+// wall_ms above ticks * tick_us) and (b) how far the realized bounds drift
+// from their targets on an idle machine. Both are reported as counters:
+//
+//   wall_ms_per_ktick : wall milliseconds per 1000 model ticks of run
+//                       length (ideal = tick_us, i.e. 0.1 at 100us ticks)
+//   realized_d        : max delivery delay the execution exhibited
+//   realized_delta    : max scheduling gap the execution exhibited
+//   completed         : 1 if the run reached the quiet state
+//   messages          : point-to-point messages sent
+//
+// Run `AG_BENCH_JSON=BENCH_rt.json ./bench_rt` for the JSON report.
+#include <string>
+
+#include "bench_common.h"
+#include "rt/driver.h"
+
+namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("rt");
+
+namespace {
+
+void run_rt_case(benchmark::State& state, GossipAlgorithm algorithm,
+                 RtInject inject) {
+  RtConfig config;
+  config.spec.algorithm = algorithm;
+  config.spec.n = static_cast<std::size_t>(state.range(0));
+  config.spec.f = config.spec.n / 4;
+  config.spec.d = 3;
+  config.spec.delta = 2;
+  config.inject = inject;
+  config.tick_us = 100;
+
+  double wall_ms = 0;
+  double end_ticks = 0;
+  double realized_d = 0;
+  double realized_delta = 0;
+  double completed = 0;
+  double messages = 0;
+  int runs = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.spec.seed = seed++;
+    const RtRunResult res = run_realtime(config);
+    wall_ms += res.outcome.wall_ms;
+    end_ticks += static_cast<double>(res.outcome.end_time);
+    realized_d += static_cast<double>(res.outcome.realized_d);
+    realized_delta += static_cast<double>(res.outcome.realized_delta);
+    completed += res.outcome.completed ? 1 : 0;
+    messages += static_cast<double>(res.outcome.messages);
+    ++runs;
+  }
+  const double r = runs > 0 ? runs : 1;
+  state.counters["wall_ms_per_ktick"] =
+      end_ticks > 0 ? wall_ms / end_ticks * 1000.0 : 0;
+  state.counters["realized_d"] = realized_d / r;
+  state.counters["realized_delta"] = realized_delta / r;
+  state.counters["completed"] = completed / r;
+  state.counters["messages"] = messages / r;
+
+  GossipSpec label_spec = config.spec;
+  record_case(state, std::string("rt/") + to_string(inject) + "/" +
+                         spec_label(label_spec));
+}
+
+void BM_RtEars(benchmark::State& state) {
+  run_rt_case(state, GossipAlgorithm::kEars, RtInject::kNone);
+}
+
+void BM_RtEarsCrash(benchmark::State& state) {
+  run_rt_case(state, GossipAlgorithm::kEars, RtInject::kCrash);
+}
+
+void BM_RtTearsCrash(benchmark::State& state) {
+  run_rt_case(state, GossipAlgorithm::kTears, RtInject::kCrash);
+}
+
+BENCHMARK(BM_RtEars)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_RtEarsCrash)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_RtTearsCrash)->Arg(16)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace asyncgossip::bench

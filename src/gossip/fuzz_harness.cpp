@@ -38,29 +38,6 @@ std::string first_finding(const ViolationReport& report) {
          ": " + v.detail;
 }
 
-bool requires_gathering(const GossipSpec& spec) {
-  switch (spec.algorithm) {
-    case GossipAlgorithm::kTears:  // majority gossip only
-    case GossipAlgorithm::kLazy:   // completion only (cascading foil)
-      return false;
-    case GossipAlgorithm::kSync:
-      // The synchronous baseline assumes d = delta = 1 a priori (its fixed
-      // round budget counts rounds, not time); outside that regime its
-      // spread guarantee simply does not apply, so only completion and the
-      // model invariants are checked.
-      return spec.d == 1 && spec.delta == 1;
-    default:
-      return true;
-  }
-}
-
-bool requires_majority(const GossipSpec& spec) {
-  if (spec.algorithm == GossipAlgorithm::kLazy) return false;
-  if (spec.algorithm == GossipAlgorithm::kSync)
-    return spec.d == 1 && spec.delta == 1;  // same regime caveat as above
-  return true;
-}
-
 }  // namespace
 
 const std::vector<GossipAlgorithm>& fuzz_algorithms() {
@@ -197,12 +174,12 @@ FuzzOracle make_gossip_fuzz_oracle(EventMutator mutate) {
            std::to_string(spec.max_steps) + " steps)");
       return v;
     }
-    if (requires_gathering(spec) && !outcome.gathering_ok) {
+    if (gossip_requires_gathering(spec) && !outcome.gathering_ok) {
       fail("postcondition: gathering (a live process misses a correct "
            "process's rumor)");
       return v;
     }
-    if (requires_majority(spec) && !outcome.majority_ok) {
+    if (gossip_requires_majority(spec) && !outcome.majority_ok) {
       fail("postcondition: majority (a live process knows <= n/2 rumors)");
       return v;
     }

@@ -144,6 +144,29 @@ Time default_step_budget(const GossipSpec& spec) {
   return static_cast<Time>(budget);
 }
 
+bool gossip_requires_gathering(const GossipSpec& spec) {
+  switch (spec.algorithm) {
+    case GossipAlgorithm::kTears:  // majority gossip only
+    case GossipAlgorithm::kLazy:   // completion only (cascading foil)
+      return false;
+    case GossipAlgorithm::kSync:
+      // The synchronous baseline assumes d = delta = 1 a priori (its fixed
+      // round budget counts rounds, not time); outside that regime its
+      // spread guarantee simply does not apply, so only completion and the
+      // model invariants are checked.
+      return spec.d == 1 && spec.delta == 1;
+    default:
+      return true;
+  }
+}
+
+bool gossip_requires_majority(const GossipSpec& spec) {
+  if (spec.algorithm == GossipAlgorithm::kLazy) return false;
+  if (spec.algorithm == GossipAlgorithm::kSync)
+    return spec.d == 1 && spec.delta == 1;  // same regime caveat as above
+  return true;
+}
+
 Engine make_gossip_engine(const GossipSpec& spec) {
   ObliviousConfig adv;
   adv.n = spec.n;

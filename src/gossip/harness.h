@@ -116,6 +116,19 @@ AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec);
 /// Default step budget used when spec.max_steps == 0.
 Time default_step_budget(const GossipSpec& spec);
 
+/// Whether the algorithm's contract requires full rumor gathering at
+/// completion under this spec's model parameters: tears solves majority
+/// gossip only, lazy promises completion only, and the synchronous
+/// baseline's spread guarantee holds only in the d = delta = 1 regime its
+/// fixed round budget assumes. Shared by the fuzz oracle and the real-time
+/// runtime's postcondition checks (rt/driver.h), so "what must this run
+/// achieve" has exactly one definition.
+bool gossip_requires_gathering(const GossipSpec& spec);
+
+/// Same, for the majority-gossip requirement (everyone knows > n/2
+/// rumors): lazy is exempt, sync only outside d = delta = 1.
+bool gossip_requires_majority(const GossipSpec& spec);
+
 /// Canonical case label for a spec: "ears/n:256/f:64/d:4/delta:3". Shared
 /// by the bench JSON report and `gossiplab sweep` so the same experiment
 /// carries the same name everywhere.

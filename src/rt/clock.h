@@ -1,0 +1,47 @@
+// Model-tick <-> wall-clock mapping for the real-time runtime.
+//
+// The simulator's global time is a loop counter; here it is real time,
+// discretized: tick k covers the half-open wall-clock interval
+// [start + k*tick_us, start + (k+1)*tick_us). Every thread reads the same
+// steady clock, so ticks give the whole run one coherent time axis without
+// any shared mutable state. Note the mapping is *observational*: nothing
+// stops the OS from preempting a thread across several ticks — the runtime
+// measures the realized scheduling bound afterwards instead of promising
+// one up front (see rt/driver.h).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+class TickClock {
+ public:
+  explicit TickClock(std::uint64_t tick_us)
+      : tick_(std::chrono::microseconds(tick_us == 0 ? 1 : tick_us)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// The tick containing "now". Monotone across calls on every thread.
+  Time now_tick() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return static_cast<Time>(elapsed / tick_);
+  }
+
+  /// Blocks until the start of tick `t` (returns immediately if past it).
+  void sleep_until_tick(Time t) const {
+    std::this_thread::sleep_until(start_ + t * tick_);
+  }
+
+  std::uint64_t tick_us() const {
+    return static_cast<std::uint64_t>(tick_.count());
+  }
+
+ private:
+  std::chrono::microseconds tick_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace asyncgossip

@@ -1,0 +1,456 @@
+#include "rt/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "gossip/rumor.h"
+#include "rt/clock.h"
+#include "rt/transport.h"
+#include "sim/fuzz.h"
+#include "sim/probe.h"
+#include "sim/telemetry.h"
+
+namespace asyncgossip {
+
+namespace {
+
+using Event = TraceRecorder::Event;
+using EventKind = TraceRecorder::EventKind;
+
+/// murmur3 finalizer: per-thread seed derivation from (run seed, pid).
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Everything one process thread writes; owned exclusively by that thread
+/// until join(), then read by the merge — no locking needed.
+struct ThreadLog {
+  std::vector<Event> events;
+  std::vector<RtProbeRecord> probes;
+  std::uint64_t bytes = 0;
+  std::size_t dropped = 0;
+};
+
+/// Shared run status the completion monitor polls. One mutex for all of it:
+/// the hot path takes it a handful of times per step, and steps are paced
+/// in hundreds of microseconds, so contention is irrelevant next to
+/// correctness (the quiet predicate must see one consistent snapshot).
+struct SharedState {
+  std::mutex mu;
+  std::vector<std::uint8_t> stepping;
+  std::vector<std::uint8_t> quiescent;
+  std::vector<std::uint8_t> crashed;
+  std::size_t undelivered = 0;
+};
+
+/// Budget-gated append shared by events and probes: the cap bounds total
+/// memory across all threads without any per-thread tuning.
+class RecordBudget {
+ public:
+  explicit RecordBudget(std::size_t max) : max_(max) {}
+  bool take() { return used_.fetch_add(1, std::memory_order_relaxed) < max_; }
+
+ private:
+  std::size_t max_;
+  std::atomic<std::size_t> used_{0};
+};
+
+class ThreadProbeSink final : public ProbeSink {
+ public:
+  ThreadProbeSink(ThreadLog* log, RecordBudget* budget)
+      : log_(log), budget_(budget) {}
+
+  void on_phase(Time now, ProcessId p, const char* phase) override {
+    push(RtProbeRecord{true, now, p, phase, 0, 0});
+  }
+  void on_state(Time now, ProcessId p, std::uint64_t rumors_known,
+                std::uint64_t rumors_fully_informed) override {
+    push(RtProbeRecord{false, now, p, nullptr, rumors_known,
+                       rumors_fully_informed});
+  }
+
+ private:
+  void push(const RtProbeRecord& r) {
+    if (budget_->take())
+      log_->probes.push_back(r);
+    else
+      ++log_->dropped;
+  }
+
+  ThreadLog* log_;
+  RecordBudget* budget_;
+};
+
+bool event_order(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.process < b.process;
+}
+
+}  // namespace
+
+RtRunResult run_realtime(const RtConfig& config) {
+  const GossipSpec& spec = config.spec;
+  AG_ASSERT_MSG(spec.n > 0, "rt run needs at least one process");
+  AG_ASSERT_MSG(spec.f < spec.n, "crash budget must leave a live process");
+
+  const auto n = spec.n;
+  const Time d_target = std::max<Time>(1, spec.d);
+  const Time delta_target = std::max<Time>(1, spec.delta);
+  const Time budget =
+      spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
+
+  auto processes = make_gossip_processes(spec);
+  InProcessTransport transport(n);
+  const FaultInjector faults(
+      make_fault_plan(config.inject, n, spec.f, spec.crash_horizon, spec.seed),
+      d_target, delta_target);
+
+  std::vector<ThreadLog> logs(n);
+  RecordBudget record_budget(config.max_events);
+  SharedState state;
+  state.stepping.assign(n, 0);
+  state.quiescent.assign(n, 0);
+  state.crashed.assign(n, 0);
+  std::atomic<bool> done{false};
+  std::atomic<MessageId> next_id{0};
+  const TickClock clock(config.tick_us);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const auto worker = [&](ProcessId p) {
+    Xoshiro256SS rng(mix64(spec.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1))));
+    auto* gp = dynamic_cast<GossipProcess*>(processes[p].get());
+    AG_ASSERT_MSG(gp != nullptr, "rt runtime requires GossipProcess instances");
+    ThreadLog& log = logs[p];
+    ThreadProbeSink sink(&log, &record_budget);
+    const auto push_event = [&](Event e) {
+      if (record_budget.take())
+        log.events.push_back(e);
+      else
+        ++log.dropped;
+    };
+
+    std::vector<Envelope> received;
+    Time last_tick = 0;
+    bool stepped = false;
+    std::uint64_t local_step = 0;
+
+    while (!done.load(std::memory_order_acquire)) {
+      // Pace the next step into a gap of [1, delta_target] ticks (the
+      // first step into [0, delta_target)); OS jitter on top of this is
+      // absorbed by the realized delta the run reports.
+      const Time target = stepped ? last_tick + 1 + rng.uniform(delta_target)
+                                  : rng.uniform(delta_target);
+      clock.sleep_until_tick(target);
+      Time now = clock.now_tick();
+      if (stepped && now <= last_tick) now = last_tick + 1;
+
+      {
+        const std::lock_guard<std::mutex> lock(state.mu);
+        state.stepping[p] = 1;
+      }
+      received.clear();
+      const std::size_t got = transport.drain(p, now, &received);
+      if (got > 0) {
+        const std::lock_guard<std::mutex> lock(state.mu);
+        state.undelivered -= got;
+      }
+
+      push_event(Event{EventKind::kStep, now, p, kNoProcess, 0, 0, 0});
+      for (const Envelope& env : received)
+        push_event(Event{EventKind::kDelivery, now, p, env.from, env.id,
+                         env.send_time, env.deliver_after});
+
+      StepContext ctx(p, n, local_step, received);
+      ctx.attach_probe(&sink, now);
+      processes[p]->step(ctx);
+
+      auto& out = ctx.outbox();
+      const bool crash_now = faults.should_crash(p, local_step);
+      std::size_t keep = out.size();
+      // Mid-step crash: only a prefix of the step's sends makes it out
+      // (the model's "a subset of its messages is sent").
+      if (crash_now) keep = rng.uniform(out.size() + 1);
+
+      for (std::size_t i = 0; i < keep; ++i) {
+        StepContext::Outgoing& o = out[i];
+        Envelope env;
+        env.id = next_id.fetch_add(1, std::memory_order_relaxed);
+        env.from = p;
+        env.to = o.to;
+        env.send_time = now;
+        const Time delay = 1 + rng.uniform(d_target) + faults.extra_delay(rng);
+        env.deliver_after = now + delay;
+        log.bytes += o.payload ? o.payload->byte_size() : 0;
+        const MessageId id = env.id;
+        const ProcessId to = env.to;
+        env.payload = std::move(o.payload);
+        {
+          const std::lock_guard<std::mutex> lock(state.mu);
+          ++state.undelivered;
+        }
+        const Time stamped = transport.submit(std::move(env));
+        if (stamped == kTimeMax) {
+          // Destination crashed: the message never entered the network.
+          const std::lock_guard<std::mutex> lock(state.mu);
+          --state.undelivered;
+          push_event(Event{EventKind::kSend, now, p, to, id, now, now + delay});
+        } else {
+          push_event(Event{EventKind::kSend, now, p, to, id, now, stamped});
+        }
+      }
+
+      ++local_step;
+      last_tick = now;
+      stepped = true;
+
+      if (crash_now) {
+        push_event(Event{EventKind::kCrash, now, p, kNoProcess, 0, 0, 0});
+        const std::size_t discarded = transport.close_inbox(p);
+        const std::lock_guard<std::mutex> lock(state.mu);
+        state.undelivered -= discarded;
+        state.crashed[p] = 1;
+        state.stepping[p] = 0;
+        return;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(state.mu);
+        state.stepping[p] = 0;
+        state.quiescent[p] = gp->quiescent() ? 1 : 0;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) threads.emplace_back(worker, p);
+
+  // Completion monitor: the quiet predicate [network drained AND every
+  // process crashed-or-quiescent AND nobody mid-step] is stable — only a
+  // stepping process can create messages, quiescent processes send nothing
+  // absent receipts, and there are none left to receive.
+  bool completed = false;
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::microseconds(config.tick_us));
+    {
+      const std::lock_guard<std::mutex> lock(state.mu);
+      bool quiet = state.undelivered == 0;
+      for (ProcessId p = 0; quiet && p < n; ++p) {
+        if (state.crashed[p]) continue;
+        if (state.stepping[p] || !state.quiescent[p]) quiet = false;
+      }
+      completed = quiet;
+    }
+    if (completed || clock.now_tick() >= budget) break;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+
+  // --- merge the per-thread records into one time-ordered trace ----------
+  RtRunResult result;
+  result.outcome.completed = completed;
+  result.outcome.wall_ms = wall_ms;
+  for (ThreadLog& log : logs) {
+    result.events.insert(result.events.end(), log.events.begin(),
+                         log.events.end());
+    result.probes.insert(result.probes.end(), log.probes.begin(),
+                         log.probes.end());
+    result.outcome.bytes += log.bytes;
+    result.events_dropped += log.dropped;
+  }
+  // Each per-thread log is already time-ordered; a stable sort by (time,
+  // process) therefore preserves every thread's internal event order (step
+  // before deliveries before sends before crash within one tick).
+  std::stable_sort(result.events.begin(), result.events.end(), event_order);
+  std::stable_sort(result.probes.begin(), result.probes.end(),
+                   [](const RtProbeRecord& a, const RtProbeRecord& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.process < b.process;
+                   });
+
+  // Renumber message ids to be strictly monotone in merged send order (the
+  // auditor's id contract). A delivery always follows its send in time
+  // order, so one forward pass suffices.
+  std::unordered_map<MessageId, MessageId> renumber;
+  renumber.reserve(result.events.size() / 2);
+  MessageId next_merged_id = 0;
+  for (Event& e : result.events) {
+    if (e.kind == EventKind::kSend) {
+      renumber.emplace(e.message, next_merged_id);
+      e.message = next_merged_id++;
+    } else if (e.kind == EventKind::kDelivery) {
+      const auto it = renumber.find(e.message);
+      if (it != renumber.end()) e.message = it->second;
+    }
+  }
+
+  // --- realized bounds and outcome counters ------------------------------
+  RtOutcome& oc = result.outcome;
+  std::vector<Time> first_step(n, 0);
+  std::vector<Time> last_step(n, 0);
+  std::vector<std::uint8_t> stepped_once(n, 0);
+  Time realized_d = 1;
+  Time max_gap = 1;
+  for (const Event& e : result.events) {
+    switch (e.kind) {
+      case EventKind::kStep:
+        if (stepped_once[e.process] == 0) {
+          first_step[e.process] = e.time;
+          stepped_once[e.process] = 1;
+        } else {
+          max_gap = std::max(max_gap, e.time - last_step[e.process]);
+        }
+        last_step[e.process] = e.time;
+        ++oc.steps;
+        break;
+      case EventKind::kSend:
+        ++oc.messages;
+        oc.completion_time = e.time + 1;
+        realized_d = std::max(realized_d, e.deliver_after - e.time);
+        break;
+      case EventKind::kDelivery:
+        ++oc.deliveries;
+        break;
+      case EventKind::kCrash:
+        ++oc.crashes;
+        break;
+    }
+  }
+  oc.end_time = result.events.empty() ? 0 : result.events.back().time + 1;
+  oc.realized_d = realized_d;
+  Time realized_delta = max_gap;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (stepped_once[p] != 0)
+      realized_delta = std::max(realized_delta, first_step[p] + 1);
+    if (state.crashed[p] != 0) continue;
+    realized_delta = std::max(realized_delta, stepped_once[p] != 0
+                                                  ? oc.end_time - last_step[p]
+                                                  : oc.end_time + 1);
+  }
+  oc.realized_delta = realized_delta;
+  oc.crashes = 0;
+  for (ProcessId p = 0; p < n; ++p) oc.crashes += state.crashed[p] != 0;
+  oc.alive = n - oc.crashes;
+
+  // --- gossip property checks (joined threads: state is safely visible) --
+  DynamicBitset correct(n);
+  for (ProcessId p = 0; p < n; ++p)
+    if (state.crashed[p] == 0) correct.set(p);
+  const std::size_t need = n / 2 + 1;
+  oc.gathering_ok = true;
+  oc.majority_ok = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (state.crashed[p] != 0) continue;
+    const auto& gp = dynamic_cast<const GossipProcess&>(*processes[p]);
+    if (!correct.subset_of(gp.rumors())) oc.gathering_ok = false;
+    if (gp.rumors().count() < need) oc.majority_ok = false;
+  }
+  return result;
+}
+
+TelemetryConfig rt_telemetry_config(const RtConfig& config,
+                                    const RtRunResult& result) {
+  TelemetryConfig tc;
+  tc.n = config.spec.n;
+  tc.d = result.outcome.realized_d;
+  tc.delta = result.outcome.realized_delta;
+  return tc;
+}
+
+void feed_telemetry(const RtRunResult& result, TelemetryCollector* collector) {
+  std::size_t ei = 0;
+  std::size_t pi = 0;
+  const auto apply_event = [&](const Event& e) {
+    switch (e.kind) {
+      case EventKind::kStep:
+        collector->on_step(e.time, e.process);
+        break;
+      case EventKind::kSend: {
+        Envelope env;
+        env.id = e.message;
+        env.from = e.process;
+        env.to = e.peer;
+        env.send_time = e.send_time;
+        env.deliver_after = e.deliver_after;
+        collector->on_send(env);
+        break;
+      }
+      case EventKind::kDelivery: {
+        Envelope env;
+        env.id = e.message;
+        env.from = e.peer;
+        env.to = e.process;
+        env.send_time = e.send_time;
+        env.deliver_after = e.deliver_after;
+        collector->on_delivery(env, e.time);
+        break;
+      }
+      case EventKind::kCrash:
+        collector->on_crash(e.time, e.process);
+        break;
+    }
+  };
+  while (ei < result.events.size() || pi < result.probes.size()) {
+    // Probes fire mid-step, before the step's sends; at equal ticks they
+    // go first so a crashing process's last report lands before its crash.
+    const bool take_probe =
+        pi < result.probes.size() &&
+        (ei >= result.events.size() ||
+         result.probes[pi].time <= result.events[ei].time);
+    if (take_probe) {
+      const RtProbeRecord& r = result.probes[pi++];
+      if (r.is_phase)
+        collector->on_phase(r.time, r.process, r.phase);
+      else
+        collector->on_state(r.time, r.process, r.rumors_known,
+                            r.rumors_fully_informed);
+    } else {
+      apply_event(result.events[ei++]);
+    }
+  }
+  collector->finalize(result.outcome.end_time);
+}
+
+void write_rt_trace(std::ostream& os, const RtConfig& config,
+                    const RtRunResult& result) {
+  os << "# asyncgossip trace v1\n";
+  os << "model n=" << config.spec.n << " d=" << result.outcome.realized_d
+     << " delta=" << result.outcome.realized_delta << " f=" << config.spec.f
+     << '\n';
+  if (result.events_dropped != 0)
+    os << "# WARNING: " << result.events_dropped
+       << " records dropped by the bounded recorder; this trace is a prefix\n";
+  for (const Event& e : result.events)
+    os << TraceRecorder::format_event(e) << '\n';
+}
+
+ViolationReport audit_rt_run(const RtConfig& config,
+                             const RtRunResult& result) {
+  AuditConfig ac;
+  ac.n = config.spec.n;
+  ac.d = result.outcome.realized_d;
+  ac.delta = result.outcome.realized_delta;
+  ac.max_crashes = config.spec.f;
+  return audit_events(result.events, ac, /*finalize=*/true);
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,121 @@
+// RealtimeDriver: runs the gossip algorithms, unmodified, over real threads.
+//
+// One thread per process executes the receive/compute/send step loop
+// against an InProcessTransport (rt/transport.h), paced by a TickClock
+// (rt/clock.h) so model time is real time. The algorithms see the exact
+// StepContext interface the simulator hands them — same code, byte for
+// byte — while delivery order and scheduling interleaving come from the OS
+// instead of an adversary object.
+//
+// The central design decision: the paper's bounds d and delta are
+// *realized per execution* and unknown to the algorithms (Section 2 —
+// partial synchrony in the unknown-bounds sense of Dwork-Lynch-Stockmeyer).
+// A wall-clock run cannot promise a delivery or scheduling bound up front
+// (the OS may preempt any thread indefinitely), but it does not need to:
+// the driver records every event, then reports the bounds the execution
+// actually exhibited. spec.d / spec.delta act as *targets* — delay draws
+// are uniform on [1, d] ticks plus fault spikes, step pacing aims at gaps
+// in [1, delta] ticks — and the recorded trace carries the realized
+// maxima, under which it is a conforming execution by construction:
+// tracecheck and the InvariantAuditor accept it with zero tolerance, same
+// as a simulator trace (tests/test_rt.cpp holds this for every algorithm,
+// with and without injected faults).
+//
+// What stays guaranteed vs. the simulator, and what becomes best-effort,
+// is laid out in docs/RUNTIME.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "gossip/harness.h"
+#include "rt/fault.h"
+#include "sim/audit.h"
+#include "sim/trace.h"
+
+namespace asyncgossip {
+
+class TelemetryCollector;
+struct TelemetryConfig;
+
+struct RtConfig {
+  /// Algorithm, n, f, seed and knobs. d and delta are the *target* bounds
+  /// (delay-draw range and pacing aim), not promises; the run reports what
+  /// it realized. spec.max_steps (0 = automatic) bounds the run in ticks.
+  GossipSpec spec;
+  /// Wall-clock length of one model tick.
+  std::uint64_t tick_us = 200;
+  RtInject inject = RtInject::kNone;
+  /// Cap on recorded events across all threads; overflow is counted in
+  /// RtRunResult::events_dropped (and leaves the trace unauditable).
+  std::size_t max_events = 1 << 20;
+};
+
+/// End-of-run summary, mirroring GossipOutcome where the fields coincide.
+struct RtOutcome {
+  /// Quiet state (network drained, every process crashed-or-quiescent)
+  /// reached within the tick budget.
+  bool completed = false;
+  /// Tick of the last message send + 1 (0 if nothing was sent).
+  Time completion_time = 0;
+  /// One past the last recorded event tick: the trace horizon, as passed
+  /// to InvariantAuditor::finalize.
+  Time end_time = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t deliveries = 0;
+  /// The bounds this execution actually exhibited (see file comment).
+  Time realized_d = 1;
+  Time realized_delta = 1;
+  std::size_t alive = 0;
+  std::size_t crashes = 0;
+  bool gathering_ok = false;
+  bool majority_ok = false;
+  double wall_ms = 0.0;
+};
+
+/// One StepContext probe report captured during the run.
+struct RtProbeRecord {
+  bool is_phase = false;
+  Time time = 0;
+  ProcessId process = kNoProcess;
+  const char* phase = nullptr;  // static literal per the probe contract
+  std::uint64_t rumors_known = 0;
+  std::uint64_t rumors_fully_informed = 0;
+};
+
+struct RtRunResult {
+  RtOutcome outcome;
+  /// Merged event log: time-ordered, message ids renumbered to be strictly
+  /// monotone in send order — a valid trace-format-v1 stream.
+  std::vector<TraceRecorder::Event> events;
+  /// Probe reports, time-ordered.
+  std::vector<RtProbeRecord> probes;
+  std::size_t events_dropped = 0;
+};
+
+/// Executes the run and returns the merged record. Thread count is
+/// spec.n + 1 (one per process plus the completion monitor).
+RtRunResult run_realtime(const RtConfig& config);
+
+/// TelemetryConfig sized for the run's *realized* bounds, so the latency
+/// histogram provably has no overflow bucket hits on a conforming record.
+TelemetryConfig rt_telemetry_config(const RtConfig& config,
+                                    const RtRunResult& result);
+
+/// Replays the recorded events and probes, time-ordered, into `collector`
+/// (same data path as a live simulator run) and finalize()s it.
+void feed_telemetry(const RtRunResult& result, TelemetryCollector* collector);
+
+/// Writes the trace-format-v1 artifact; the model line carries the
+/// realized bounds, under which the record is a conforming execution.
+void write_rt_trace(std::ostream& os, const RtConfig& config,
+                    const RtRunResult& result);
+
+/// Offline audit of the record with the realized bounds — the same checker
+/// tools/tracecheck applies to the written artifact.
+ViolationReport audit_rt_run(const RtConfig& config, const RtRunResult& result);
+
+}  // namespace asyncgossip

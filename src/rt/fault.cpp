@@ -1,0 +1,74 @@
+#include "rt/fault.h"
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+const char* to_string(RtInject inject) {
+  switch (inject) {
+    case RtInject::kNone:
+      return "none";
+    case RtInject::kCrash:
+      return "crash";
+    case RtInject::kStall:
+      return "stall";
+    case RtInject::kDrop:
+      return "drop";
+    case RtInject::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+bool rt_inject_from_string(const std::string& name, RtInject* out) {
+  if (name == "none") {
+    *out = RtInject::kNone;
+  } else if (name == "crash") {
+    *out = RtInject::kCrash;
+  } else if (name == "stall") {
+    *out = RtInject::kStall;
+  } else if (name == "drop") {
+    *out = RtInject::kDrop;
+  } else if (name == "all") {
+    *out = RtInject::kAll;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FaultPlan make_fault_plan(RtInject inject, std::size_t n, std::size_t f,
+                          std::uint64_t horizon, std::uint64_t seed) {
+  AG_ASSERT_MSG(f < n, "crash budget must leave a live process");
+  FaultPlan plan;
+  plan.crash_at_step.assign(n, kTimeMax);
+  const bool crash = inject == RtInject::kCrash || inject == RtInject::kAll;
+  plan.stall_links = inject == RtInject::kStall || inject == RtInject::kAll;
+  plan.drop_retry = inject == RtInject::kDrop || inject == RtInject::kAll;
+  if (!crash || f == 0) return plan;
+  // A fault-plan-only stream: victims and crash steps must not depend on
+  // (or perturb) the per-process algorithm streams.
+  Xoshiro256SS rng(seed ^ 0xfa17a110c8a5eedULL);
+  if (horizon == 0) horizon = 1;
+  for (std::uint64_t victim : rng.sample_without_replacement(n, f))
+    plan.crash_at_step[victim] = 1 + rng.uniform(horizon);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, Time d_target, Time delta_target)
+    : plan_(std::move(plan)),
+      d_target_(d_target == 0 ? 1 : d_target),
+      delta_target_(delta_target == 0 ? 1 : delta_target) {}
+
+Time FaultInjector::extra_delay(Xoshiro256SS& rng) const {
+  Time extra = 0;
+  // Order matters for determinism: every send consults the same draws in
+  // the same order on one thread.
+  if (plan_.stall_links && rng.bernoulli(plan_.stall_probability))
+    extra += 1 + rng.uniform(delta_target_);
+  if (plan_.drop_retry && rng.bernoulli(plan_.drop_probability))
+    extra += 1 + rng.uniform(d_target_ + delta_target_);
+  return extra;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,84 @@
+// Fault injection for the real-time runtime.
+//
+// Three fault classes, all inside the model's envelope so a faulty run is
+// still a *legal* execution the auditor must accept:
+//
+//   * crash   — up to f processes stop permanently at a pre-drawn local
+//               step; the dying step may transport only a prefix of its
+//               sends (the paper's mid-step crash: "a process may crash
+//               during a step, in which case a subset of its messages is
+//               sent").
+//   * stall   — a link-level delay spike of up to delta_target extra ticks
+//               on a random subset of messages.
+//   * drop    — a message "loss" realized as drop-then-retry: the retry
+//               succeeds within one extra delivery round trip, so the
+//               message arrives within d_target + delta_target extra
+//               ticks. (The model has no true loss; a lossy link with
+//               bounded retries is exactly a larger d.)
+//
+// Stall and drop only enlarge delivery delays, which the run's *realized*
+// d absorbs (rt/driver.h); crashes consume the f budget the algorithms
+// were built for. The whole plan is a pure function of (inject, n, f,
+// seed), so a given seed always kills the same processes at the same
+// local steps — the determinism anchor tests/test_rt.cpp leans on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+enum class RtInject : std::uint8_t {
+  kNone,
+  kCrash,
+  kStall,
+  kDrop,
+  kAll,
+};
+
+const char* to_string(RtInject inject);
+/// Inverse of to_string ("none", "crash", "stall", "drop", "all").
+/// Returns false on an unknown name, leaving *out untouched.
+bool rt_inject_from_string(const std::string& name, RtInject* out);
+
+/// Immutable per-run fault schedule, drawn once from the seed.
+struct FaultPlan {
+  /// Local step at which each process crashes; kTimeMax = never.
+  std::vector<std::uint64_t> crash_at_step;
+  bool stall_links = false;
+  bool drop_retry = false;
+  double stall_probability = 0.05;
+  double drop_probability = 0.02;
+};
+
+/// Draws the schedule: with crashes enabled, exactly f distinct victims
+/// with crash steps uniform in [1, horizon].
+FaultPlan make_fault_plan(RtInject inject, std::size_t n, std::size_t f,
+                          std::uint64_t horizon, std::uint64_t seed);
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, Time d_target, Time delta_target);
+
+  /// True iff p must crash while executing local step `local_step`.
+  bool should_crash(ProcessId p, std::uint64_t local_step) const {
+    return plan_.crash_at_step[p] <= local_step;
+  }
+
+  /// Extra delivery delay (in ticks) injected into one send; `rng` is the
+  /// calling thread's own stream, so draws stay per-thread deterministic.
+  Time extra_delay(Xoshiro256SS& rng) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Time d_target_;
+  Time delta_target_;
+};
+
+}  // namespace asyncgossip

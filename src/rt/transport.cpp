@@ -1,0 +1,66 @@
+#include "rt/transport.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+
+InProcessTransport::InProcessTransport(std::size_t n) {
+  inboxes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto box = std::make_unique<Inbox>();
+    box->link_floor.assign(n, 0);
+    inboxes_.push_back(std::move(box));
+  }
+}
+
+Time InProcessTransport::submit(Envelope env) {
+  AG_ASSERT_MSG(env.to < inboxes_.size(), "submit to out-of-range process");
+  Inbox& box = *inboxes_[env.to];
+  const std::lock_guard<std::mutex> lock(box.mu);
+  if (box.closed) return kTimeMax;
+  Time after = env.deliver_after;
+  // No-late stamp: if the receiver already drained tick T, nothing may
+  // become deliverable at or before T retroactively.
+  if (box.drained_once && after <= box.last_drain_tick)
+    after = box.last_drain_tick + 1;
+  // Per-link FIFO: stamps on one link never decrease.
+  Time& floor = box.link_floor[env.from];
+  after = std::max(after, floor);
+  floor = after;
+  env.deliver_after = after;
+  box.pending.push_back(std::move(env));
+  return after;
+}
+
+std::size_t InProcessTransport::drain(ProcessId p, Time now,
+                                      std::vector<Envelope>* out) {
+  Inbox& box = *inboxes_[p];
+  const std::lock_guard<std::mutex> lock(box.mu);
+  box.drained_once = true;
+  box.last_drain_tick = std::max(box.last_drain_tick, now);
+  const std::size_t first = out->size();
+  std::size_t kept = 0;
+  for (Envelope& env : box.pending) {
+    if (env.deliver_after <= now)
+      out->push_back(std::move(env));
+    else
+      box.pending[kept++] = std::move(env);
+  }
+  box.pending.resize(kept);
+  std::sort(out->begin() + static_cast<std::ptrdiff_t>(first), out->end(),
+            [](const Envelope& a, const Envelope& b) { return a.id < b.id; });
+  return out->size() - first;
+}
+
+std::size_t InProcessTransport::close_inbox(ProcessId p) {
+  Inbox& box = *inboxes_[p];
+  const std::lock_guard<std::mutex> lock(box.mu);
+  box.closed = true;
+  const std::size_t discarded = box.pending.size();
+  box.pending.clear();
+  return discarded;
+}
+
+}  // namespace asyncgossip

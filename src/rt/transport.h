@@ -1,0 +1,82 @@
+// Asynchronous message transport for the real-time runtime.
+//
+// The simulator's network is a timing wheel owned by one thread; here it is
+// a set of mutex-guarded per-destination inboxes written to concurrently by
+// sender threads and drained by the owning receiver thread — a genuinely
+// asynchronous channel whose delivery order is decided by real scheduling,
+// not by an adversary object.
+//
+// The transport is where the model's delivery-side guarantees are pinned
+// down against wall-clock nondeterminism:
+//
+//   * No late stamp: each drain(p, now) records `now`; a later submit whose
+//     deliver_after would land at or before any tick p has already drained
+//     is pushed to that tick + 1. A message still pending after the drain
+//     at tick T therefore provably has deliver_after > T, so the recorded
+//     trace never shows a receiver stepping past a deliverable message
+//     (the auditor's kLateDelivery check).
+//   * Per-link FIFO: deliver_after stamps on each (sender, receiver) link
+//     are made monotone under the inbox lock, and drains take *every*
+//     deliverable message at once, so an older same-link message can never
+//     be overtaken by a newer one (kFifoInversion).
+//
+// Both adjustments only ever *delay* a message, which the model always
+// permits — the realized delivery bound d reported for the run absorbs
+// them (rt/driver.h).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Hands a message to the network. `env.deliver_after` carries the
+  /// sender's raw delay draw; the transport may move it later (see file
+  /// comment) but never earlier. Returns the final deliver_after stamp,
+  /// or kTimeMax if the destination's inbox is closed (crashed) and the
+  /// message was dropped.
+  virtual Time submit(Envelope env) = 0;
+
+  /// Moves every pending message for `p` with deliver_after <= now into
+  /// *out (appended, sorted by message id) and returns how many. Records
+  /// `now` as p's latest drain tick.
+  virtual std::size_t drain(ProcessId p, Time now, std::vector<Envelope>* out) = 0;
+
+  /// Closes p's inbox (crash): pending messages are discarded and later
+  /// submits are dropped. Returns the number discarded.
+  virtual std::size_t close_inbox(ProcessId p) = 0;
+};
+
+/// In-process implementation: one inbox per process, each with its own
+/// mutex (senders of distinct destinations never contend).
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(std::size_t n);
+
+  Time submit(Envelope env) override;
+  std::size_t drain(ProcessId p, Time now, std::vector<Envelope>* out) override;
+  std::size_t close_inbox(ProcessId p) override;
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::vector<Envelope> pending;
+    std::vector<Time> link_floor;  // per-sender minimum next deliver_after
+    Time last_drain_tick = 0;
+    bool drained_once = false;
+    bool closed = false;
+  };
+
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+};
+
+}  // namespace asyncgossip

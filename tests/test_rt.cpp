@@ -1,0 +1,281 @@
+// Tests for the real-time threaded runtime (src/rt/). The load-bearing
+// properties: every algorithm reaches its contractual postcondition over
+// the genuinely concurrent transport, with and without injected faults;
+// the recorded event log is a conforming trace under the run's *realized*
+// bounds (same InvariantAuditor tools/tracecheck applies); telemetry
+// replayed from the record agrees with the outcome counters; and a seed
+// pins the fault plan and the outcome verdicts, though never the
+// interleaving. These tests are the reason the tsan preset exists — run
+// them under ThreadSanitizer via `ctest --preset tsan -R Rt`.
+#include "rt/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rt/fault.h"
+#include "rt/transport.h"
+#include "sim/fuzz.h"
+#include "sim/telemetry.h"
+#include "sim/trace.h"
+
+namespace asyncgossip {
+namespace {
+
+/// Nightly CI rotates the base seed via AG_RT_SEED (like fuzz-nightly), so
+/// coverage accumulates across scheduling environments.
+std::uint64_t base_seed() {
+  const char* env = std::getenv("AG_RT_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+  return seed != 0 ? seed : 1;
+}
+
+const std::vector<GossipAlgorithm>& all_algorithms() {
+  static const std::vector<GossipAlgorithm> algorithms = {
+      GossipAlgorithm::kTrivial,
+      GossipAlgorithm::kEars,
+      GossipAlgorithm::kSears,
+      GossipAlgorithm::kTears,
+      GossipAlgorithm::kSync,
+      GossipAlgorithm::kEarsNoInformedList,
+      GossipAlgorithm::kLazy,
+      GossipAlgorithm::kRoundRobin,
+  };
+  return algorithms;
+}
+
+RtConfig small_config(GossipAlgorithm algorithm, RtInject inject) {
+  RtConfig config;
+  config.spec.algorithm = algorithm;
+  config.spec.n = 12;
+  // f < n/2 keeps the tears majority contract satisfiable; the others
+  // tolerate any f < n, so one value covers all eight.
+  config.spec.f = 3;
+  config.spec.d = 3;
+  config.spec.delta = 2;
+  config.spec.seed = base_seed();
+  config.spec.crash_horizon = 32;
+  config.inject = inject;
+  config.tick_us = 100;
+  return config;
+}
+
+/// The contractual postcondition for a finished rt run, evaluated against
+/// the bounds the execution realized (the sync baseline's spread guarantee
+/// only binds at d = delta = 1, which wall-clock runs do not realize).
+void expect_contract(const RtConfig& config, const RtRunResult& res) {
+  const char* name = to_string(config.spec.algorithm);
+  EXPECT_TRUE(res.outcome.completed) << name;
+  EXPECT_EQ(res.events_dropped, 0u) << name;
+  GossipSpec realized = config.spec;
+  realized.d = res.outcome.realized_d;
+  realized.delta = res.outcome.realized_delta;
+  if (gossip_requires_gathering(realized)) {
+    EXPECT_TRUE(res.outcome.gathering_ok) << name;
+  }
+  if (gossip_requires_majority(realized)) {
+    EXPECT_TRUE(res.outcome.majority_ok) << name;
+  }
+  const ViolationReport audit = audit_rt_run(config, res);
+  EXPECT_TRUE(audit.ok()) << name << "\n" << audit.summary();
+}
+
+TEST(RtDriver, AllAlgorithmsReachContractWithoutFaults) {
+  for (GossipAlgorithm algorithm : all_algorithms()) {
+    const RtConfig config = small_config(algorithm, RtInject::kNone);
+    const RtRunResult res = run_realtime(config);
+    expect_contract(config, res);
+    EXPECT_EQ(res.outcome.crashes, 0u) << to_string(algorithm);
+    EXPECT_EQ(res.outcome.alive, config.spec.n) << to_string(algorithm);
+  }
+}
+
+TEST(RtDriver, AllAlgorithmsReachContractWithInjectedCrashes) {
+  for (GossipAlgorithm algorithm : all_algorithms()) {
+    const RtConfig config = small_config(algorithm, RtInject::kCrash);
+    const RtRunResult res = run_realtime(config);
+    expect_contract(config, res);
+    EXPECT_LE(res.outcome.crashes, config.spec.f) << to_string(algorithm);
+  }
+}
+
+TEST(RtDriver, StallAndDropInjectionStaysWithinRealizedBounds) {
+  const RtConfig config = small_config(GossipAlgorithm::kEars, RtInject::kAll);
+  const RtRunResult res = run_realtime(config);
+  expect_contract(config, res);
+  // Delay spikes are only ever *delays*: the realized d must cover every
+  // stamp, which the audit above already enforced — spot-check directly.
+  for (const TraceRecorder::Event& e : res.events) {
+    if (e.kind != TraceRecorder::EventKind::kSend) continue;
+    ASSERT_GE(e.deliver_after, e.time + 1);
+    ASSERT_LE(e.deliver_after - e.time, res.outcome.realized_d);
+  }
+}
+
+TEST(RtDriver, RecordedTraceRoundTripsThroughTextFormat) {
+  const RtConfig config = small_config(GossipAlgorithm::kEars, RtInject::kCrash);
+  const RtRunResult res = run_realtime(config);
+  ASSERT_EQ(res.events_dropped, 0u);
+
+  std::ostringstream os;
+  write_rt_trace(os, config, res);
+  std::istringstream is(os.str());
+
+  // Re-parse every line exactly like tools/tracecheck does and audit the
+  // parsed stream: the artifact alone must re-certify the execution.
+  std::vector<TraceRecorder::Event> parsed;
+  std::string line;
+  while (std::getline(is, line)) {
+    TraceRecorder::Event event;
+    const auto result = TraceRecorder::parse_line(line, &event);
+    ASSERT_NE(result, TraceRecorder::ParseResult::kError) << line;
+    if (result == TraceRecorder::ParseResult::kEvent) parsed.push_back(event);
+  }
+  ASSERT_EQ(parsed.size(), res.events.size());
+
+  AuditConfig ac;
+  ac.n = config.spec.n;
+  ac.d = res.outcome.realized_d;
+  ac.delta = res.outcome.realized_delta;
+  ac.max_crashes = config.spec.f;
+  const ViolationReport report = audit_events(parsed, ac);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(RtDriver, OutcomeVerdictsAreDeterministicPerSeed) {
+  // The interleaving is the OS's; the *verdicts* (completion, contract
+  // checks, audit cleanliness) and the fault plan must be seed-stable.
+  const RtConfig config = small_config(GossipAlgorithm::kEars, RtInject::kCrash);
+  const RtRunResult a = run_realtime(config);
+  const RtRunResult b = run_realtime(config);
+  EXPECT_EQ(a.outcome.completed, b.outcome.completed);
+  EXPECT_EQ(a.outcome.gathering_ok, b.outcome.gathering_ok);
+  EXPECT_EQ(a.outcome.majority_ok, b.outcome.majority_ok);
+  EXPECT_TRUE(audit_rt_run(config, a).ok());
+  EXPECT_TRUE(audit_rt_run(config, b).ok());
+}
+
+TEST(RtDriver, TelemetryReplayAgreesWithOutcome) {
+  const RtConfig config = small_config(GossipAlgorithm::kEars, RtInject::kNone);
+  const RtRunResult res = run_realtime(config);
+  ASSERT_TRUE(res.outcome.completed);
+
+  TelemetryCollector telemetry(rt_telemetry_config(config, res));
+  feed_telemetry(res, &telemetry);
+  EXPECT_TRUE(telemetry.finalized());
+  EXPECT_EQ(telemetry.steps_total(), res.outcome.steps);
+  EXPECT_EQ(telemetry.sends_total(), res.outcome.messages);
+  EXPECT_EQ(telemetry.deliveries_total(), res.outcome.deliveries);
+  EXPECT_EQ(telemetry.crashes_total(), res.outcome.crashes);
+  EXPECT_EQ(telemetry.end_time(), res.outcome.end_time);
+  // The histogram is sized for the realized bounds, so a conforming record
+  // cannot overflow it.
+  EXPECT_EQ(telemetry.latency_overflow(), 0u);
+  EXPECT_FALSE(telemetry.spread().empty());
+  EXPECT_FALSE(telemetry.phases().empty());  // ears announces its phases
+  EXPECT_GT(telemetry.informed_fraction(), 0.99);
+}
+
+// --- transport unit tests (deterministic, no threads) ---------------------
+
+Envelope make_env(MessageId id, ProcessId from, ProcessId to, Time send_time,
+                  Time deliver_after) {
+  Envelope env;
+  env.id = id;
+  env.from = from;
+  env.to = to;
+  env.send_time = send_time;
+  env.deliver_after = deliver_after;
+  return env;
+}
+
+TEST(RtTransport, DeliversAtOrAfterStamp) {
+  InProcessTransport transport(4);
+  EXPECT_EQ(transport.submit(make_env(0, 1, 2, 0, 3)), 3u);
+  std::vector<Envelope> out;
+  EXPECT_EQ(transport.drain(2, 2, &out), 0u);
+  EXPECT_EQ(transport.drain(2, 3, &out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 0u);
+}
+
+TEST(RtTransport, NeverStampsAtOrBeforeADrainedTick) {
+  InProcessTransport transport(4);
+  std::vector<Envelope> out;
+  transport.drain(2, 5, &out);  // receiver already consumed tick 5
+  // A stamp at tick 3 would be retroactively deliverable: pushed to 6.
+  EXPECT_EQ(transport.submit(make_env(0, 1, 2, 2, 3)), 6u);
+}
+
+TEST(RtTransport, PerLinkStampsAreFifo) {
+  InProcessTransport transport(4);
+  EXPECT_EQ(transport.submit(make_env(0, 1, 2, 0, 10)), 10u);
+  // A later send on the same link drew a shorter delay: floored to 10.
+  EXPECT_EQ(transport.submit(make_env(1, 1, 2, 1, 7)), 10u);
+  // An independent link is not affected.
+  EXPECT_EQ(transport.submit(make_env(2, 3, 2, 1, 7)), 7u);
+  std::vector<Envelope> out;
+  EXPECT_EQ(transport.drain(2, 10, &out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 0u);  // drained batch is id-sorted
+  EXPECT_EQ(out[1].id, 1u);
+  EXPECT_EQ(out[2].id, 2u);
+}
+
+TEST(RtTransport, ClosedInboxDiscardsAndDrops) {
+  InProcessTransport transport(4);
+  transport.submit(make_env(0, 1, 2, 0, 3));
+  transport.submit(make_env(1, 1, 2, 0, 4));
+  EXPECT_EQ(transport.close_inbox(2), 2u);
+  EXPECT_EQ(transport.submit(make_env(2, 1, 2, 1, 5)), kTimeMax);
+  std::vector<Envelope> out;
+  EXPECT_EQ(transport.drain(2, 100, &out), 0u);
+}
+
+// --- fault plan unit tests ------------------------------------------------
+
+TEST(RtFaultPlan, CrashPlanIsSeededAndExact) {
+  const FaultPlan plan = make_fault_plan(RtInject::kCrash, 16, 5, 32, 7);
+  std::size_t victims = 0;
+  for (Time at : plan.crash_at_step) {
+    if (at == kTimeMax) continue;
+    ++victims;
+    EXPECT_GE(at, 1u);  // every victim completes its first step
+    EXPECT_LE(at, 32u);
+  }
+  EXPECT_EQ(victims, 5u);
+  const FaultPlan again = make_fault_plan(RtInject::kCrash, 16, 5, 32, 7);
+  EXPECT_EQ(plan.crash_at_step, again.crash_at_step);
+  const FaultPlan other = make_fault_plan(RtInject::kCrash, 16, 5, 32, 8);
+  EXPECT_NE(plan.crash_at_step, other.crash_at_step);
+}
+
+TEST(RtFaultPlan, NoneAndStallPlansCrashNobody) {
+  for (RtInject inject : {RtInject::kNone, RtInject::kStall, RtInject::kDrop}) {
+    const FaultPlan plan = make_fault_plan(inject, 8, 3, 32, 1);
+    for (Time at : plan.crash_at_step) EXPECT_EQ(at, kTimeMax);
+  }
+  EXPECT_TRUE(make_fault_plan(RtInject::kStall, 8, 3, 32, 1).stall_links);
+  EXPECT_TRUE(make_fault_plan(RtInject::kDrop, 8, 3, 32, 1).drop_retry);
+  const FaultPlan all = make_fault_plan(RtInject::kAll, 8, 3, 32, 1);
+  EXPECT_TRUE(all.stall_links);
+  EXPECT_TRUE(all.drop_retry);
+}
+
+TEST(RtFaultPlan, InjectNamesRoundTrip) {
+  for (RtInject inject : {RtInject::kNone, RtInject::kCrash, RtInject::kStall,
+                          RtInject::kDrop, RtInject::kAll}) {
+    RtInject parsed;
+    ASSERT_TRUE(rt_inject_from_string(to_string(inject), &parsed));
+    EXPECT_EQ(parsed, inject);
+  }
+  RtInject unused;
+  EXPECT_FALSE(rt_inject_from_string("bogus", &unused));
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff an asyncgossip-bench-v1 report against a
+committed baseline and fail (exit 1) when a tracked counter regressed
+beyond the tolerance.
+
+Usage:
+  bench_gate.py --baseline BENCH_engine_seed.json --current BENCH_engine.json
+                [--counter steps_per_sec] [--tolerance 0.40]
+
+Only case names present in *both* documents are compared (CI smoke runs
+filter the bench to a subset of the baseline grid), and only downward
+moves count: a faster run never fails the gate. The default 40% tolerance
+absorbs shared-runner noise (see docs/PERFORMANCE.md on why tighter ratio
+gates are not trustworthy in CI); catching a genuine 2x slowdown is the
+design point, not 5% drifts. Stdlib only — the CI image has no extra
+Python packages.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "asyncgossip-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {case["name"]: case["counters"] for case in doc["cases"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--counter", default="steps_per_sec")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="max fractional slowdown (default 0.40)")
+    args = parser.parse_args()
+
+    baseline = load_cases(args.baseline)
+    current = load_cases(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        sys.exit("bench gate: no case names shared between baseline and "
+                 "current report — wrong suite or empty run?")
+
+    rows = []
+    failures = 0
+    for name in shared:
+        base = baseline[name].get(args.counter)
+        cur = current[name].get(args.counter)
+        if base is None or cur is None or base <= 0:
+            rows.append((name, base, cur, None, "skip (missing counter)"))
+            continue
+        delta = cur / base - 1.0
+        regressed = delta < -args.tolerance
+        failures += regressed
+        rows.append((name, base, cur, delta,
+                     "FAIL" if regressed else "ok"))
+
+    name_w = max(len(r[0]) for r in rows)
+    print(f"bench gate: counter={args.counter} tolerance=-{args.tolerance:.0%}"
+          f" ({len(shared)} shared case(s))")
+    print(f"{'case'.ljust(name_w)}  {'baseline':>12}  {'current':>12}  "
+          f"{'delta':>8}  status")
+    for name, base, cur, delta, status in rows:
+        base_s = f"{base:,.0f}" if base is not None else "-"
+        cur_s = f"{cur:,.0f}" if cur is not None else "-"
+        delta_s = f"{delta:+.1%}" if delta is not None else "-"
+        print(f"{name.ljust(name_w)}  {base_s:>12}  {cur_s:>12}  "
+              f"{delta_s:>8}  {status}")
+
+    only_base = sorted(set(baseline) - set(current))
+    if only_base:
+        print(f"(not run this time: {', '.join(only_base)})")
+
+    if failures:
+        print(f"bench gate: {failures} case(s) regressed more than "
+              f"{args.tolerance:.0%}")
+        return 1
+    print("bench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

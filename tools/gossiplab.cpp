@@ -7,6 +7,9 @@
 //   lowerbound run the Theorem 1 adaptive adversary against an algorithm
 //   trace      run a small gossip execution and print its ASCII timeline
 //   report     run one gossip execution with telemetry, print the JSON report
+//   rt         run one gossip execution on the real-time threaded runtime
+//              (wall-clock ticks, optional fault injection), audit the
+//              recorded trace offline, print the JSON report
 //   fuzz       sample adversary configurations, shrink any failing case to a
 //              replayable repro artifact (exit 1 when a failure was found)
 //   replay     re-execute a repro artifact, verify its pinned trace hash
@@ -24,6 +27,8 @@
 //   gossiplab gossip --alg tears --n 128 --f 32 --audit
 //   gossiplab report --algorithm ears --n 64 --f 16
 //   gossiplab report --alg tears --n 128 --f 32 --out run.json --spread-csv spread.csv
+//   gossiplab rt --algorithm ears --n 32 --f 8 --inject crash --seed 7
+//   gossiplab rt --alg tears --n 24 --f 5 --record rt.trace --out rt.json
 //   gossiplab fuzz --iters 200 --seed 7 --out repro
 //   gossiplab fuzz --iters 20 --inject late-delivery --out repro
 //   gossiplab replay --in repro.spec.json
@@ -44,6 +49,7 @@
 #include "gossip/harness.h"
 #include "gossip/spec_json.h"
 #include "lowerbound/adaptive.h"
+#include "rt/driver.h"
 #include "sim/telemetry.h"
 #include "sim/telemetry_export.h"
 #include "sim/trace.h"
@@ -549,6 +555,135 @@ int cmd_report(const Flags& f) {
   return out.completed ? 0 : 1;
 }
 
+int cmd_rt(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab rt [flags]\n"
+        "run one gossip execution on the real-time threaded runtime (one\n"
+        "thread per process, wall-clock ticks; see docs/RUNTIME.md), audit\n"
+        "the recorded trace offline, and print the asyncgossip-telemetry-v1\n"
+        "JSON report\n"
+        "    --inject KIND       faults: none|crash|stall|drop|all (default none)\n"
+        "    --tick-us T         wall-clock microseconds per model tick (default 200)\n"
+        "    --record PATH       write the trace-format-v1 event log to PATH\n"
+        "    --out PATH          write the JSON report to PATH\n"
+        "  --d/--delta are *targets* (delay-draw range / pacing aim); the\n"
+        "  report carries the bounds the execution realized (defaults 4, 2)\n%s",
+        kSpecFlagHelp);
+    return 0;
+  }
+  check_flags("rt", f, {SPEC_FLAG_LIST, "inject", "tick-us", "record", "out"});
+  RtConfig config;
+  config.spec = spec_from_flags(f);
+  // Real transports have jitter: a degenerate d = 1 target makes every
+  // delay draw identical, so rt defaults to a small spread instead.
+  if (!has_flag(f, "d")) config.spec.d = 4;
+  if (!has_flag(f, "delta")) config.spec.delta = 2;
+  config.tick_us = get_u64(f, "tick-us", 200);
+  const std::string inject_name = get_str(f, "inject", "none");
+  if (!rt_inject_from_string(inject_name, &config.inject)) {
+    std::fprintf(stderr, "unknown inject kind: %s\n", inject_name.c_str());
+    return 2;
+  }
+
+  const RtRunResult res = run_realtime(config);
+  if (res.events_dropped != 0)
+    std::fprintf(stderr, "warning: %zu records dropped (trace is a prefix)\n",
+                 res.events_dropped);
+
+  if (has_flag(f, "record")) {
+    const std::string path = get_str(f, "record", "rt.trace");
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 2;
+    }
+    write_rt_trace(os, config, res);
+    std::fprintf(stderr, "wrote event log to %s\n", path.c_str());
+  }
+
+  const ViolationReport audit = audit_rt_run(config, res);
+  if (!audit.ok())
+    std::fprintf(stderr, "audit found %llu violation(s):\n%s",
+                 (unsigned long long)audit.total(), audit.summary().c_str());
+
+  TelemetryCollector telemetry(rt_telemetry_config(config, res));
+  feed_telemetry(res, &telemetry);
+
+  const RtOutcome& out = res.outcome;
+  // The sync baseline's spread guarantee only applies at d = delta = 1,
+  // which a wall-clock execution essentially never realizes — evaluate the
+  // contract against the realized bounds, like the fuzz oracle does
+  // against the configured ones.
+  GossipSpec realized = config.spec;
+  realized.d = out.realized_d;
+  realized.delta = out.realized_delta;
+  const bool gathering_required = gossip_requires_gathering(realized);
+  const bool majority_required = gossip_requires_majority(realized);
+
+  TelemetryExportInfo info;
+  info.run = {{"tool", "gossiplab rt"},
+              {"runtime", "realtime-threads"},
+              {"algorithm", to_string(config.spec.algorithm)},
+              {"inject", to_string(config.inject)}};
+  info.summary = {
+      {"n", (double)config.spec.n},
+      {"f", (double)config.spec.f},
+      {"d_target", (double)config.spec.d},
+      {"delta_target", (double)config.spec.delta},
+      {"seed", (double)config.spec.seed},
+      {"tick_us", (double)config.tick_us},
+      {"completed", out.completed ? 1.0 : 0.0},
+      {"completion_time", (double)out.completion_time},
+      {"end_time", (double)out.end_time},
+      {"steps", (double)out.steps},
+      {"messages", (double)out.messages},
+      {"bytes", (double)out.bytes},
+      {"deliveries", (double)out.deliveries},
+      {"realized_d", (double)out.realized_d},
+      {"realized_delta", (double)out.realized_delta},
+      {"gathering_ok", out.gathering_ok ? 1.0 : 0.0},
+      {"majority_ok", out.majority_ok ? 1.0 : 0.0},
+      {"alive", (double)out.alive},
+      {"crashes", (double)out.crashes},
+      {"audit_violations", (double)audit.total()},
+      {"wall_ms", out.wall_ms},
+  };
+
+  std::ostringstream doc;
+  write_telemetry_json(doc, telemetry, info);
+  std::string json_err;
+  if (!json_valid(doc.str(), &json_err)) {
+    std::fprintf(stderr, "internal error: report is not valid JSON: %s\n",
+                 json_err.c_str());
+    return 3;
+  }
+  if (has_flag(f, "out")) {
+    const std::string path = get_str(f, "out", "rt.json");
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 2;
+    }
+    os << doc.str();
+    std::fprintf(stderr, "wrote telemetry report to %s\n", path.c_str());
+  } else {
+    std::fputs(doc.str().c_str(), stdout);
+  }
+
+  const bool ok = out.completed && audit.ok() &&
+                  (!gathering_required || out.gathering_ok) &&
+                  (!majority_required || out.majority_ok);
+  if (!ok)
+    std::fprintf(stderr,
+                 "rt run failed: completed=%d audit_ok=%d gathering=%d/%d "
+                 "majority=%d/%d\n",
+                 (int)out.completed, (int)audit.ok(), (int)out.gathering_ok,
+                 (int)gathering_required, (int)out.majority_ok,
+                 (int)majority_required);
+  return ok ? 0 : 1;
+}
+
 int cmd_fuzz(const Flags& f) {
   if (has_flag(f, "help")) {
     std::printf(
@@ -690,7 +825,7 @@ int cmd_statcheck(const Flags& f) {
 void usage() {
   std::fprintf(stderr,
                "usage: gossiplab <gossip|sweep|consensus|lowerbound|trace|"
-               "report|fuzz|replay|statcheck> [--flag value ...]\n"
+               "report|rt|fuzz|replay|statcheck> [--flag value ...]\n"
                "run `gossiplab <subcommand> --help` for flags, or see the\n"
                "tools/gossiplab.cpp header for examples\n");
 }
@@ -711,6 +846,7 @@ int main(int argc, char** argv) {
     if (cmd == "lowerbound") return cmd_lowerbound(flags);
     if (cmd == "trace") return cmd_trace(flags);
     if (cmd == "report") return cmd_report(flags);
+    if (cmd == "rt") return cmd_rt(flags);
     if (cmd == "fuzz") return cmd_fuzz(flags);
     if (cmd == "replay") return cmd_replay(flags);
     if (cmd == "statcheck") return cmd_statcheck(flags);

@@ -13,7 +13,7 @@ foreach(var GOSSIPLAB TRACECHECK WORKDIR FIXTURE)
 endforeach()
 
 # 1. --help for every subcommand.
-foreach(sub gossip sweep consensus lowerbound trace report fuzz replay
+foreach(sub gossip sweep consensus lowerbound trace report rt fuzz replay
         statcheck)
   execute_process(COMMAND "${GOSSIPLAB}" ${sub} --help
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
