@@ -1,0 +1,105 @@
+// Clang Thread Safety Analysis annotations and the annotated mutex types
+// the runtime is required to use (aglint rule AG-LCK-002).
+//
+// The macros expand to clang's capability attributes when the compiler
+// supports them and to nothing otherwise, so GCC builds are unaffected
+// while clang presets compile src/rt with -Wthread-safety
+// -Werror=thread-safety (src/rt/CMakeLists.txt). libstdc++'s std::mutex
+// carries no capability annotations, so raw std::mutex is invisible to the
+// analysis; Mutex/MutexLock below wrap it with the attributes that make
+// every guarded access statically checkable. See docs/ANALYSIS.md.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AG_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef AG_THREAD_ANNOTATION_
+#define AG_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define AG_CAPABILITY(x) AG_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in its
+/// destructor.
+#define AG_SCOPED_CAPABILITY AG_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be read or written while holding `x`.
+#define AG_GUARDED_BY(x) AG_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding `x`.
+#define AG_PT_GUARDED_BY(x) AG_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define AG_REQUIRES(...) AG_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held.
+#define AG_EXCLUDES(...) AG_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define AG_ACQUIRE(...) AG_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define AG_RELEASE(...) AG_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire and reports success via its return value.
+#define AG_TRY_ACQUIRE(...) \
+  AG_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define AG_RETURN_CAPABILITY(x) AG_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: function body is exempt from the analysis. Every use
+/// needs an adjacent comment explaining why the exemption is sound.
+#define AG_NO_THREAD_SAFETY_ANALYSIS \
+  AG_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace asyncgossip {
+
+/// std::mutex with the capability attribute: the only mutex type permitted
+/// in src/rt. Lock it through MutexLock so acquire/release pairing is
+/// checked structurally, not just dynamically.
+class AG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // aglint:allow(AG-LCK-001) the annotated wrapper is the one place raw
+  // lock()/unlock() calls are allowed; everything else goes through
+  // MutexLock (rule rationale in docs/ANALYSIS.md).
+  void lock() AG_ACQUIRE() { mu_.lock(); }
+  // aglint:allow(AG-LCK-001) see lock() above.
+  void unlock() AG_RELEASE() { mu_.unlock(); }
+  // aglint:allow(AG-LCK-001) see lock() above.
+  bool try_lock() AG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the scoped_lockable shape clang's analysis
+/// understands). Intentionally minimal: no deferred/adopted modes, because
+/// the runtime never needs them and the analysis is strongest when the
+/// constructor/destructor pairing is unconditional.
+class AG_SCOPED_CAPABILITY MutexLock {
+ public:
+  // aglint:allow(AG-LCK-001) this RAII type is the scoping mechanism the
+  // rule mandates; its ctor/dtor are the blessed lock()/unlock() pair.
+  explicit MutexLock(Mutex* mu) AG_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  // aglint:allow(AG-LCK-001) see the constructor note.
+  ~MutexLock() AG_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace asyncgossip

@@ -11,6 +11,9 @@
 
 #include <cstdint>
 
+// aglint:allow(AG-LAY-002) completion detection *is* engine-side analysis:
+// it inspects global network/process state no algorithm may see. Algorithm
+// files stay behind the StepContext seam; this header is the runner side.
 #include "sim/engine.h"
 
 namespace asyncgossip {

@@ -11,6 +11,9 @@
 
 #include "gossip/completion.h"
 #include "sim/audit.h"
+// aglint:allow(AG-LAY-002) the harness is the runner seam itself: it
+// builds and drives the Engine from a GossipSpec. Algorithm files (tears,
+// epidemic, ...) must not include sim/engine.h; this one alone may.
 #include "sim/engine.h"
 #include "sim/oblivious.h"
 

@@ -44,4 +44,23 @@ class TickClock {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Wall-clock interval measurement for run reporting. This file is the
+/// only place the runtime may read a real clock (aglint rule AG-DET-002):
+/// routing every wall-clock read through TickClock/Stopwatch keeps the
+/// nondeterministic inputs of a run enumerable in one header.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds elapsed since construction.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace asyncgossip

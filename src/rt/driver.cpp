@@ -4,16 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/assert.h"
 #include "common/bitset.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "gossip/rumor.h"
 #include "rt/clock.h"
 #include "rt/transport.h"
@@ -51,12 +50,18 @@ struct ThreadLog {
 /// the hot path takes it a handful of times per step, and steps are paced
 /// in hundreds of microseconds, so contention is irrelevant next to
 /// correctness (the quiet predicate must see one consistent snapshot).
+/// Guarded members are initialized in the constructor, where the analysis
+/// knows the object is not yet shared; afterwards every access is
+/// statically required to hold `mu` (-Wthread-safety under clang).
 struct SharedState {
-  std::mutex mu;
-  std::vector<std::uint8_t> stepping;
-  std::vector<std::uint8_t> quiescent;
-  std::vector<std::uint8_t> crashed;
-  std::size_t undelivered = 0;
+  explicit SharedState(std::size_t n)
+      : stepping(n, 0), quiescent(n, 0), crashed(n, 0) {}
+
+  Mutex mu;
+  std::vector<std::uint8_t> stepping AG_GUARDED_BY(mu);
+  std::vector<std::uint8_t> quiescent AG_GUARDED_BY(mu);
+  std::vector<std::uint8_t> crashed AG_GUARDED_BY(mu);
+  std::size_t undelivered AG_GUARDED_BY(mu) = 0;
 };
 
 /// Budget-gated append shared by events and probes: the cap bounds total
@@ -123,14 +128,11 @@ RtRunResult run_realtime(const RtConfig& config) {
 
   std::vector<ThreadLog> logs(n);
   RecordBudget record_budget(config.max_events);
-  SharedState state;
-  state.stepping.assign(n, 0);
-  state.quiescent.assign(n, 0);
-  state.crashed.assign(n, 0);
+  SharedState state(n);
   std::atomic<bool> done{false};
   std::atomic<MessageId> next_id{0};
   const TickClock clock(config.tick_us);
-  const auto wall_start = std::chrono::steady_clock::now();
+  const Stopwatch wall;
 
   const auto worker = [&](ProcessId p) {
     Xoshiro256SS rng(mix64(spec.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1))));
@@ -161,13 +163,13 @@ RtRunResult run_realtime(const RtConfig& config) {
       if (stepped && now <= last_tick) now = last_tick + 1;
 
       {
-        const std::lock_guard<std::mutex> lock(state.mu);
+        const MutexLock lock(&state.mu);
         state.stepping[p] = 1;
       }
       received.clear();
       const std::size_t got = transport.drain(p, now, &received);
       if (got > 0) {
-        const std::lock_guard<std::mutex> lock(state.mu);
+        const MutexLock lock(&state.mu);
         state.undelivered -= got;
       }
 
@@ -201,13 +203,13 @@ RtRunResult run_realtime(const RtConfig& config) {
         const ProcessId to = env.to;
         env.payload = std::move(o.payload);
         {
-          const std::lock_guard<std::mutex> lock(state.mu);
+          const MutexLock lock(&state.mu);
           ++state.undelivered;
         }
         const Time stamped = transport.submit(std::move(env));
         if (stamped == kTimeMax) {
           // Destination crashed: the message never entered the network.
-          const std::lock_guard<std::mutex> lock(state.mu);
+          const MutexLock lock(&state.mu);
           --state.undelivered;
           push_event(Event{EventKind::kSend, now, p, to, id, now, now + delay});
         } else {
@@ -222,14 +224,14 @@ RtRunResult run_realtime(const RtConfig& config) {
       if (crash_now) {
         push_event(Event{EventKind::kCrash, now, p, kNoProcess, 0, 0, 0});
         const std::size_t discarded = transport.close_inbox(p);
-        const std::lock_guard<std::mutex> lock(state.mu);
+        const MutexLock lock(&state.mu);
         state.undelivered -= discarded;
         state.crashed[p] = 1;
         state.stepping[p] = 0;
         return;
       }
       {
-        const std::lock_guard<std::mutex> lock(state.mu);
+        const MutexLock lock(&state.mu);
         state.stepping[p] = 0;
         state.quiescent[p] = gp->quiescent() ? 1 : 0;
       }
@@ -248,7 +250,7 @@ RtRunResult run_realtime(const RtConfig& config) {
   while (true) {
     std::this_thread::sleep_for(std::chrono::microseconds(config.tick_us));
     {
-      const std::lock_guard<std::mutex> lock(state.mu);
+      const MutexLock lock(&state.mu);
       bool quiet = state.undelivered == 0;
       for (ProcessId p = 0; quiet && p < n; ++p) {
         if (state.crashed[p]) continue;
@@ -260,10 +262,16 @@ RtRunResult run_realtime(const RtConfig& config) {
   }
   done.store(true, std::memory_order_release);
   for (std::thread& t : threads) t.join();
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                wall_start)
-          .count();
+  const double wall_ms = wall.elapsed_ms();
+
+  // join() established happens-before with every worker, but the static
+  // analysis (rightly) cannot see that: snapshot the guarded state once,
+  // under the lock, and do all post-run accounting from the copy.
+  std::vector<std::uint8_t> crashed_final;
+  {
+    const MutexLock lock(&state.mu);
+    crashed_final = state.crashed;
+  }
 
   // --- merge the per-thread records into one time-ordered trace ----------
   RtRunResult result;
@@ -289,17 +297,20 @@ RtRunResult run_realtime(const RtConfig& config) {
 
   // Renumber message ids to be strictly monotone in merged send order (the
   // auditor's id contract). A delivery always follows its send in time
-  // order, so one forward pass suffices.
-  std::unordered_map<MessageId, MessageId> renumber;
-  renumber.reserve(result.events.size() / 2);
+  // order, so one forward pass suffices. Raw ids are dense — they come
+  // from one atomic counter — so a flat vector indexed by raw id replaces
+  // the former unordered_map: deterministic by construction (aglint
+  // AG-DET-003) and a straight array lookup on the merge path.
+  std::vector<MessageId> renumber(next_id.load(std::memory_order_relaxed),
+                                  kNoMessageId);
   MessageId next_merged_id = 0;
   for (Event& e : result.events) {
     if (e.kind == EventKind::kSend) {
-      renumber.emplace(e.message, next_merged_id);
+      if (e.message < renumber.size()) renumber[e.message] = next_merged_id;
       e.message = next_merged_id++;
     } else if (e.kind == EventKind::kDelivery) {
-      const auto it = renumber.find(e.message);
-      if (it != renumber.end()) e.message = it->second;
+      if (e.message < renumber.size() && renumber[e.message] != kNoMessageId)
+        e.message = renumber[e.message];
     }
   }
 
@@ -341,25 +352,25 @@ RtRunResult run_realtime(const RtConfig& config) {
   for (ProcessId p = 0; p < n; ++p) {
     if (stepped_once[p] != 0)
       realized_delta = std::max(realized_delta, first_step[p] + 1);
-    if (state.crashed[p] != 0) continue;
+    if (crashed_final[p] != 0) continue;
     realized_delta = std::max(realized_delta, stepped_once[p] != 0
                                                   ? oc.end_time - last_step[p]
                                                   : oc.end_time + 1);
   }
   oc.realized_delta = realized_delta;
   oc.crashes = 0;
-  for (ProcessId p = 0; p < n; ++p) oc.crashes += state.crashed[p] != 0;
+  for (ProcessId p = 0; p < n; ++p) oc.crashes += crashed_final[p] != 0;
   oc.alive = n - oc.crashes;
 
-  // --- gossip property checks (joined threads: state is safely visible) --
+  // --- gossip property checks (from the locked post-join snapshot) -------
   DynamicBitset correct(n);
   for (ProcessId p = 0; p < n; ++p)
-    if (state.crashed[p] == 0) correct.set(p);
+    if (crashed_final[p] == 0) correct.set(p);
   const std::size_t need = n / 2 + 1;
   oc.gathering_ok = true;
   oc.majority_ok = true;
   for (ProcessId p = 0; p < n; ++p) {
-    if (state.crashed[p] != 0) continue;
+    if (crashed_final[p] != 0) continue;
     const auto& gp = dynamic_cast<const GossipProcess&>(*processes[p]);
     if (!correct.subset_of(gp.rumors())) oc.gathering_ok = false;
     if (gp.rumors().count() < need) oc.majority_ok = false;

@@ -8,17 +8,14 @@ namespace asyncgossip {
 
 InProcessTransport::InProcessTransport(std::size_t n) {
   inboxes_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto box = std::make_unique<Inbox>();
-    box->link_floor.assign(n, 0);
-    inboxes_.push_back(std::move(box));
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    inboxes_.push_back(std::make_unique<Inbox>(n));
 }
 
 Time InProcessTransport::submit(Envelope env) {
   AG_ASSERT_MSG(env.to < inboxes_.size(), "submit to out-of-range process");
   Inbox& box = *inboxes_[env.to];
-  const std::lock_guard<std::mutex> lock(box.mu);
+  const MutexLock lock(&box.mu);
   if (box.closed) return kTimeMax;
   Time after = env.deliver_after;
   // No-late stamp: if the receiver already drained tick T, nothing may
@@ -37,7 +34,7 @@ Time InProcessTransport::submit(Envelope env) {
 std::size_t InProcessTransport::drain(ProcessId p, Time now,
                                       std::vector<Envelope>* out) {
   Inbox& box = *inboxes_[p];
-  const std::lock_guard<std::mutex> lock(box.mu);
+  const MutexLock lock(&box.mu);
   box.drained_once = true;
   box.last_drain_tick = std::max(box.last_drain_tick, now);
   const std::size_t first = out->size();
@@ -56,7 +53,7 @@ std::size_t InProcessTransport::drain(ProcessId p, Time now,
 
 std::size_t InProcessTransport::close_inbox(ProcessId p) {
   Inbox& box = *inboxes_[p];
-  const std::lock_guard<std::mutex> lock(box.mu);
+  const MutexLock lock(&box.mu);
   box.closed = true;
   const std::size_t discarded = box.pending.size();
   box.pending.clear();

@@ -27,9 +27,9 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "sim/message.h"
 #include "sim/types.h"
 
@@ -67,13 +67,21 @@ class InProcessTransport final : public Transport {
   std::size_t close_inbox(ProcessId p) override;
 
  private:
+  /// Every field is written by sender threads and the receiver thread
+  /// concurrently; clang's Thread Safety Analysis enforces that no access
+  /// escapes `mu` (see common/thread_annotations.h, docs/ANALYSIS.md).
   struct Inbox {
-    std::mutex mu;
-    std::vector<Envelope> pending;
-    std::vector<Time> link_floor;  // per-sender minimum next deliver_after
-    Time last_drain_tick = 0;
-    bool drained_once = false;
-    bool closed = false;
+    // Guarded members are initialized here, in Inbox's own constructor,
+    // where the analysis knows the object is not yet shared.
+    explicit Inbox(std::size_t n) : link_floor(n, 0) {}
+
+    Mutex mu;
+    std::vector<Envelope> pending AG_GUARDED_BY(mu);
+    // Per-sender minimum next deliver_after.
+    std::vector<Time> link_floor AG_GUARDED_BY(mu);
+    Time last_drain_tick AG_GUARDED_BY(mu) = 0;
+    bool drained_once AG_GUARDED_BY(mu) = false;
+    bool closed AG_GUARDED_BY(mu) = false;
   };
 
   std::vector<std::unique_ptr<Inbox>> inboxes_;

@@ -53,19 +53,18 @@ const char* to_string(ViolationKind kind) {
 // ---------------------------------------------------------------------------
 
 std::uint64_t ViolationReport::count(ViolationKind kind) const {
-  auto it = counts_.find(static_cast<std::uint8_t>(kind));
-  return it == counts_.end() ? 0 : it->second;
+  return counts_[static_cast<std::size_t>(kind)];
 }
 
 void ViolationReport::add(Violation v) {
-  ++counts_[static_cast<std::uint8_t>(v.kind)];
+  ++counts_[static_cast<std::size_t>(v.kind)];
   ++total_;
   if (violations_.size() < max_recorded_) violations_.push_back(std::move(v));
 }
 
 void ViolationReport::clear() {
   violations_.clear();
-  counts_.clear();
+  counts_.fill(0);
   total_ = 0;
 }
 
@@ -82,6 +81,14 @@ std::string ViolationReport::summary() const {
   }
   if (total_ > violations_.size())
     os << "  ... and " << (total_ - violations_.size()) << " more\n";
+  // Per-kind totals in ViolationKind declaration order — the array index —
+  // so two runs (or two standard libraries) always print identically.
+  os << "  totals:";
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    if (counts_[k] == 0) continue;
+    os << ' ' << to_string(static_cast<ViolationKind>(k)) << '=' << counts_[k];
+  }
+  os << '\n';
   return os.str();
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -80,6 +81,11 @@ enum class ViolationKind : std::uint8_t {
   kMetricsMismatch,
 };
 
+/// Number of ViolationKind values (counts_ array size; keep in sync with
+/// the enum — the kMetricsMismatch entry is the last one).
+inline constexpr std::size_t kViolationKindCount =
+    static_cast<std::size_t>(ViolationKind::kMetricsMismatch) + 1;
+
 const char* to_string(ViolationKind kind);
 
 /// One observed contract breach, with enough context to reproduce it.
@@ -110,6 +116,9 @@ class ViolationReport {
   const std::vector<Violation>& violations() const { return violations_; }
 
   /// One line per recorded violation plus per-kind totals; "" when ok().
+  /// Both orderings are deterministic: recorded violations in insertion
+  /// order, totals in ViolationKind declaration order — never a hash
+  /// iteration order (see docs/ANALYSIS.md, rule AG-DET-003).
   std::string summary() const;
 
   void add(Violation v);
@@ -118,7 +127,10 @@ class ViolationReport {
  private:
   std::size_t max_recorded_;
   std::vector<Violation> violations_;
-  std::unordered_map<std::uint8_t, std::uint64_t> counts_;
+  /// Exact per-kind totals, indexed by ViolationKind. A fixed array keeps
+  /// every iteration over the counts in enum order regardless of the
+  /// standard library's hash seeding.
+  std::array<std::uint64_t, kViolationKindCount> counts_{};
   std::uint64_t total_ = 0;
 };
 
@@ -197,7 +209,11 @@ class InvariantAuditor final : public EngineObserver {
   // Message tracking.
   bool any_id_seen_ = false;
   MessageId last_id_ = 0;
+  // aglint:allow(AG-DET-003) keyed insert/find/erase only, never iterated;
+  // hash order cannot reach the ViolationReport or any exported output.
   std::unordered_set<MessageId> in_flight_;
+  // aglint:allow(AG-DET-003) keyed per-(sender,receiver) FIFO queues —
+  // looked up by pair_key, never iterated, so hash order is unobservable.
   std::unordered_map<std::uint64_t, std::deque<PendingMessage>> pair_queue_;
 
   // Recomputed Metrics mirror.

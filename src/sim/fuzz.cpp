@@ -45,11 +45,17 @@ FuzzCase sample_case(const FuzzDomain& domain, Xoshiro256SS& rng) {
 FuzzReport run_fuzz(const FuzzDomain& domain, const FuzzOptions& options,
                     const FuzzOracle& oracle) {
   AG_ASSERT_MSG(static_cast<bool>(oracle), "run_fuzz needs an oracle");
+  // aglint:allow(AG-DET-002) the wall-clock budget only bounds *how many*
+  // cases run; each case is fully determined by its seed, so cutting the
+  // loop short never changes any case's outcome or trace hash (and sim/
+  // cannot depend on rt/clock.h — layering).
   const auto start = std::chrono::steady_clock::now();
   const auto out_of_time = [&] {
     if (options.time_budget_ms == 0) return false;
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
+    // aglint:allow(AG-DET-002) see the budget note on `start` above.
+    const auto now = std::chrono::steady_clock::now();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - start);
     return static_cast<std::uint64_t>(elapsed.count()) >=
            options.time_budget_ms;
   };

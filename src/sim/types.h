@@ -21,5 +21,6 @@ using MessageId = std::uint64_t;
 
 inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
 inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+inline constexpr MessageId kNoMessageId = std::numeric_limits<MessageId>::max();
 
 }  // namespace asyncgossip

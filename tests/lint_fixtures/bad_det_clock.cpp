@@ -1,0 +1,15 @@
+// aglint-fixture-as: src/gossip/fixture_clock.cpp
+// aglint-expect: AG-DET-002
+//
+// Wall-clock reads outside src/rt/clock.h make run outcomes depend on the
+// host's scheduler instead of the model's (d, delta, f) parameters.
+#include <chrono>
+
+namespace asyncgossip {
+
+long long wall_now_us() {
+  const auto t = std::chrono::steady_clock::now();  // AG-DET-002
+  return t.time_since_epoch().count();
+}
+
+}  // namespace asyncgossip

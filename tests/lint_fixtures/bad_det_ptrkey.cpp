@@ -1,0 +1,18 @@
+// aglint-fixture-as: src/sim/fixture_ptrkey.cpp
+// aglint-expect: AG-DET-004
+//
+// A pointer-keyed ordered container iterates in allocation-address order —
+// deterministic-looking in one run, different in the next.
+#include <map>
+
+namespace asyncgossip {
+
+struct Node {
+  int value;
+};
+
+int first_by_address(const std::map<Node*, int>& ranks) {  // AG-DET-004
+  return ranks.empty() ? 0 : ranks.begin()->second;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,15 @@
+// aglint-fixture-as: src/sim/fixture_random.cpp
+// aglint-expect: AG-DET-001
+//
+// Ambient randomness breaks replay: a fuzz case's trace hash must be a
+// pure function of its seed.
+#include <random>
+
+namespace asyncgossip {
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;  // AG-DET-001: entropy outside the run seed
+  return rd();
+}
+
+}  // namespace asyncgossip

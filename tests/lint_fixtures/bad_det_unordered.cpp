@@ -1,0 +1,19 @@
+// aglint-fixture-as: src/sim/fixture_unordered.cpp
+// aglint-expect: AG-DET-003
+//
+// Iterating a hash-ordered container in trace-feeding code: the emission
+// order follows the standard library's hash seed, so two builds can
+// produce different (both "valid-looking") traces.
+#include <cstdint>
+#include <unordered_map>
+
+namespace asyncgossip {
+
+std::uint64_t sum_in_hash_order(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counters) {
+  std::uint64_t acc = 0;
+  for (const auto& [id, value] : counters) acc = acc * 31 + id + value;
+  return acc;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,12 @@
+// aglint-fixture-as: src/sim/fixture_layering.cpp
+// aglint-expect: AG-LAY-001
+//
+// The simulator layer reaching *up* into the gossip layer inverts the
+// include DAG common -> sim -> gossip -> {rt, consensus, lowerbound}.
+#include "gossip/tears.h"
+
+namespace asyncgossip {
+
+int layer_inversion() { return 1; }
+
+}  // namespace asyncgossip

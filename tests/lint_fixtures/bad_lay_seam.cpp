@@ -1,0 +1,13 @@
+// aglint-fixture-as: src/gossip/fixture_seam.cpp
+// aglint-expect: AG-LAY-002
+//
+// Algorithm code must see the world through StepContext only; including
+// the engine directly would let it observe global state the rt runtime
+// and fuzzer cannot provide.
+#include "sim/engine.h"
+
+namespace asyncgossip {
+
+int seam_violation() { return 1; }
+
+}  // namespace asyncgossip

@@ -1,0 +1,19 @@
+// aglint-fixture-as: src/rt/fixture_rawlock.cpp
+// aglint-expect: AG-LCK-001
+//
+// Hand-paired lock()/unlock() leaks the lock on every early return and is
+// invisible to scoped-capability analysis; RAII (MutexLock) is mandatory.
+#include "common/thread_annotations.h"
+
+namespace asyncgossip {
+
+int counter = 0;
+Mutex counter_mu;
+
+void unsafe_increment() {
+  counter_mu.lock();  // AG-LCK-001
+  ++counter;
+  counter_mu.unlock();  // AG-LCK-001
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,19 @@
+// aglint-fixture-as: src/rt/fixture_stdmutex.cpp
+// aglint-expect: AG-LCK-002
+//
+// Raw std::mutex carries no capability annotations, so clang's
+// -Wthread-safety cannot check accesses guarded by it. src/rt must use
+// asyncgossip::Mutex / MutexLock (common/thread_annotations.h).
+#include <mutex>
+
+namespace asyncgossip {
+
+std::mutex raw_mu;  // AG-LCK-002
+int shared_value = 0;
+
+void set_value(int v) {
+  const std::lock_guard<std::mutex> lock(raw_mu);  // AG-LCK-002
+  shared_value = v;
+}
+
+}  // namespace asyncgossip

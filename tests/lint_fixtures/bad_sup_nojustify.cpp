@@ -1,0 +1,15 @@
+// aglint-fixture-as: src/sim/fixture_nojustify.cpp
+// aglint-expect: AG-SUP-001
+// aglint-expect: AG-DET-003
+//
+// A suppression without a justification is itself a violation AND does not
+// suppress — so both the tamper rule and the original finding fire.
+#include <cstdint>
+#include <unordered_map>
+
+namespace asyncgossip {
+
+// aglint:allow(AG-DET-003)
+std::unordered_map<std::uint64_t, std::uint64_t> unjustified_counters;
+
+}  // namespace asyncgossip

@@ -1,0 +1,23 @@
+// aglint-fixture-as: src/sim/fixture_clean.cpp
+// aglint-expect: none
+//
+// Deterministic, layer-respecting, lock-free code: nothing fires. The
+// words random / time / clock / lock appearing in comments or string
+// literals must NOT trigger — rules only match real code:
+//   std::random_device, rand(), time(NULL), steady_clock, mu.lock()
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace asyncgossip {
+
+const char* kBanner = "seeded rand() and steady_clock are fine in strings";
+
+std::uint64_t ordered_checksum(const std::map<std::uint64_t, int>& counters) {
+  std::uint64_t acc = 0;
+  for (const auto& [id, value] : counters)
+    acc = acc * 31 + id + static_cast<std::uint64_t>(value);
+  return acc;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,14 @@
+// aglint-fixture-as: src/rt/clock.h
+// aglint-expect: none
+//
+// src/rt/clock.h is the one file allowed to read real clocks (the
+// AG-DET-002 exemption in tools/aglint/rules.json).
+#include <chrono>
+
+namespace asyncgossip {
+
+inline long long blessed_wall_now_us() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace asyncgossip

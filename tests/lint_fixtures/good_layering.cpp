@@ -1,0 +1,15 @@
+// aglint-fixture-as: src/rt/fixture_layering.cpp
+// aglint-expect: none
+//
+// src/rt sits above gossip in the DAG, so including downward (gossip,
+// sim, common) is exactly what the layer map permits.
+#include "common/rng.h"
+#include "gossip/harness.h"
+#include "rt/clock.h"
+#include "sim/types.h"
+
+namespace asyncgossip {
+
+int layering_ok() { return 1; }
+
+}  // namespace asyncgossip

@@ -1,0 +1,21 @@
+// aglint-fixture-as: src/rt/fixture_mutexlock.cpp
+// aglint-expect: none
+//
+// The sanctioned locking pattern: annotated Mutex, RAII MutexLock, every
+// guarded access inside the scope. Clean under aglint AND under clang's
+// -Wthread-safety.
+#include "common/thread_annotations.h"
+
+namespace asyncgossip {
+
+struct Guarded {
+  Mutex mu;
+  int value AG_GUARDED_BY(mu) = 0;
+};
+
+void safe_increment(Guarded* g) {
+  const MutexLock lock(&g->mu);
+  ++g->value;
+}
+
+}  // namespace asyncgossip

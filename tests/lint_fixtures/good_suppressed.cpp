@@ -1,0 +1,16 @@
+// aglint-fixture-as: src/sim/fixture_suppressed.cpp
+// aglint-expect: none
+//
+// A well-formed suppression: names the rule, justifies it on the same
+// line. The selftest's tamper check strips the justification from this
+// file and asserts AG-SUP-001 plus the resurfaced AG-DET-003.
+#include <cstdint>
+#include <unordered_map>
+
+namespace asyncgossip {
+
+// aglint:allow(AG-DET-003) keyed lookup cache, never iterated, so hash
+// order is unobservable in any output.
+std::unordered_map<std::uint64_t, std::uint64_t> lookup_only_cache;
+
+}  // namespace asyncgossip

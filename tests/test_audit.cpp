@@ -328,6 +328,41 @@ TEST(AuditSeeded, ReportCapsRecordingButKeepsCounting) {
   EXPECT_NE(a.report().summary().find("and 3 more"), std::string::npos);
 }
 
+TEST(AuditSeeded, SummaryTotalsFollowDeclarationOrderNotInsertionOrder) {
+  // The per-kind totals segment must be a pure function of the counts:
+  // neither insertion order nor the standard library's hash seed may leak
+  // into the report text (docs/ANALYSIS.md, AG-DET-003). Feed the same
+  // multiset of violations in two opposite orders and require identical
+  // summaries, with kinds listed in ViolationKind declaration order.
+  const std::vector<ViolationKind> kinds = {
+      ViolationKind::kMetricsMismatch, ViolationKind::kDoubleStep,
+      ViolationKind::kLateDelivery, ViolationKind::kDeltaViolation};
+  ViolationReport forward(0);   // record-nothing cap: totals line only
+  ViolationReport backward(0);
+  const auto make_violation = [](ViolationKind k) {
+    Violation v;
+    v.kind = k;
+    return v;
+  };
+  for (ViolationKind k : kinds) forward.add(make_violation(k));
+  for (auto it = kinds.rbegin(); it != kinds.rend(); ++it)
+    backward.add(make_violation(*it));
+  EXPECT_EQ(forward.summary(), backward.summary());
+
+  const std::string summary = forward.summary();
+  const std::size_t late = summary.find("late-delivery=1");
+  const std::size_t delta = summary.find("delta-violation=1");
+  const std::size_t dbl = summary.find("double-step=1");
+  const std::size_t metrics = summary.find("metrics-mismatch=1");
+  ASSERT_NE(late, std::string::npos) << summary;
+  ASSERT_NE(delta, std::string::npos) << summary;
+  ASSERT_NE(dbl, std::string::npos) << summary;
+  ASSERT_NE(metrics, std::string::npos) << summary;
+  EXPECT_LT(late, delta) << summary;
+  EXPECT_LT(delta, dbl) << summary;
+  EXPECT_LT(dbl, metrics) << summary;
+}
+
 // ---------------------------------------------------------------------------
 // Strict-mode cross-check: the auditor's view of an execution must agree
 // with the engine's own ModelViolation policing.

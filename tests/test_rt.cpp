@@ -159,6 +159,45 @@ TEST(RtDriver, OutcomeVerdictsAreDeterministicPerSeed) {
   EXPECT_TRUE(audit_rt_run(config, b).ok());
 }
 
+TEST(RtDriver, MergedSendIdsAreDenseAndMonotone) {
+  // The merge renumbers message ids in merged send order through a flat
+  // vector indexed by the raw atomic-counter id (no hash map on the merge
+  // path — docs/ANALYSIS.md, AG-DET-003). The contract the auditor relies
+  // on: send ids are exactly 0, 1, 2, ... in event order, and every
+  // delivery refers to an already-seen send.
+  const RtConfig config = small_config(GossipAlgorithm::kEars, RtInject::kCrash);
+  const RtRunResult res = run_realtime(config);
+  ASSERT_EQ(res.events_dropped, 0u);
+  MessageId next_send_id = 0;
+  for (const TraceRecorder::Event& e : res.events) {
+    if (e.kind == TraceRecorder::EventKind::kSend) {
+      ASSERT_EQ(e.message, next_send_id);
+      ++next_send_id;
+    } else if (e.kind == TraceRecorder::EventKind::kDelivery) {
+      ASSERT_LT(e.message, next_send_id);
+    }
+  }
+  EXPECT_EQ(next_send_id, res.outcome.messages);
+}
+
+TEST(RtDriver, PostJoinAccountingMatchesTheMergedTrace) {
+  // Crash/alive accounting is computed from one snapshot of SharedState
+  // copied under its mutex after every worker joined (the AG_GUARDED_BY
+  // invariant on SharedState holds through teardown, not just while the
+  // threads run). That snapshot must agree exactly with the crash events
+  // the workers logged — counting both and comparing pins the invariant.
+  const RtConfig config =
+      small_config(GossipAlgorithm::kTears, RtInject::kCrash);
+  const RtRunResult res = run_realtime(config);
+  ASSERT_TRUE(res.outcome.completed);
+  std::size_t crash_events = 0;
+  for (const TraceRecorder::Event& e : res.events)
+    if (e.kind == TraceRecorder::EventKind::kCrash) ++crash_events;
+  EXPECT_EQ(res.outcome.crashes, crash_events);
+  EXPECT_EQ(res.outcome.alive, config.spec.n - crash_events);
+  EXPECT_LE(res.outcome.crashes, config.spec.f);
+}
+
 TEST(RtDriver, TelemetryReplayAgreesWithOutcome) {
   const RtConfig config = small_config(GossipAlgorithm::kEars, RtInject::kNone);
   const RtRunResult res = run_realtime(config);

@@ -1,0 +1,658 @@
+#!/usr/bin/env python3
+"""aglint — project-specific static analysis for the asyncgossip tree.
+
+Machine-checks the implicit rules this codebase depends on (see
+docs/ANALYSIS.md for the full catalogue and rationale):
+
+  determinism   AG-DET-001  nondeterministic randomness sources
+                AG-DET-002  wall-clock reads outside src/rt/clock.h
+                AG-DET-003  unordered (hash-ordered) containers in
+                            trace/metrics/telemetry-feeding code
+                AG-DET-004  pointer-keyed ordered containers
+  layering      AG-LAY-001  include edge outside the layer DAG
+                            common -> sim -> gossip -> {rt, consensus,
+                            lowerbound} -> apps/tools/bench
+                AG-LAY-002  src/gossip includes sim/engine.h (the
+                            StepContext seam rule)
+  locking       AG-LCK-001  raw .lock()/.unlock() calls (RAII required)
+                AG-LCK-002  raw std::mutex family in src/rt (annotated
+                            asyncgossip::Mutex required)
+  suppression   AG-SUP-001  aglint:allow without a justification, with an
+                            unknown rule id, or malformed
+
+Findings can be suppressed in source with
+
+    // aglint:allow(AG-DET-003) justification text on the same line
+
+placed either on the offending line or on a comment-only line directly
+above it (intervening comment-only/blank lines are allowed). A suppression
+with no justification is itself a violation (AG-SUP-001) and does NOT
+suppress — suppressions cannot be tampered into silence.
+
+Usage:
+  aglint.py --root REPO [--config rules.json] [--baseline baseline.json]
+            [--update-baseline] [--json OUT] [--quiet]
+
+Exit codes (bench_gate.py convention):
+  0  clean (no unsuppressed, unbaselined findings)
+  1  findings
+  2  tool error (bad config, unreadable input, ...)
+
+Output schema: asyncgossip-lint-v1 (stdlib json; no dependencies).
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+
+SCHEMA = "asyncgossip-lint-v1"
+TOOL_VERSION = "1.0"
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+RULES = {
+    "AG-DET-001": {
+        "family": "determinism",
+        "summary": "nondeterministic randomness source (use common/rng.h)",
+    },
+    "AG-DET-002": {
+        "family": "determinism",
+        "summary": "wall-clock read outside src/rt/clock.h",
+    },
+    "AG-DET-003": {
+        "family": "determinism",
+        "summary": "hash-ordered container in trace/metrics-feeding code",
+    },
+    "AG-DET-004": {
+        "family": "determinism",
+        "summary": "pointer-keyed ordered container (address-order output)",
+    },
+    "AG-LAY-001": {
+        "family": "layering",
+        "summary": "include edge violates the layer DAG",
+    },
+    "AG-LAY-002": {
+        "family": "layering",
+        "summary": "src/gossip includes sim/engine.h (StepContext seam)",
+    },
+    "AG-LCK-001": {
+        "family": "locking",
+        "summary": "raw .lock()/.unlock() call (use MutexLock RAII)",
+    },
+    "AG-LCK-002": {
+        "family": "locking",
+        "summary": "raw std::mutex family in src/rt (use asyncgossip::Mutex)",
+    },
+    "AG-SUP-001": {
+        "family": "suppression",
+        "summary": "aglint:allow without justification or with unknown rule",
+    },
+}
+
+DET1_PATTERNS = [
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"\bdrand48\b"), "drand48()"),
+    (re.compile(r"\brandom\s*\(\s*\)"), "random()"),
+]
+
+DET2_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\b"), "clock_gettime()"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+]
+
+DET3_PATTERN = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+# `std::map<Key*, V>` / `std::set<T*>`: the container's iteration order is
+# the pointers' numeric order, i.e. allocator layout. Line-local by design.
+DET4_PATTERN = re.compile(
+    r"\b(?:std\s*::\s*)?(?:map|set|multimap|multiset)\s*<[^<>;=()]*\*\s*[,>]")
+
+LCK1_PATTERN = re.compile(r"(?:\.|->)\s*(?:lock|unlock)\b\s*\(\s*\)")
+
+LCK2_PATTERN = re.compile(
+    r"\bstd\s*::\s*(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+
+INCLUDE_PATTERN = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+ALLOW_PATTERN = re.compile(r"aglint:allow\s*(\(([^)]*)\))?\s*(.*)")
+
+
+class ToolError(Exception):
+    """Configuration / IO problems: exit 2, never exit 1."""
+
+
+# ---------------------------------------------------------------------------
+# C++ lexing: blank out comments and string literals, keep comments aside
+# ---------------------------------------------------------------------------
+
+def split_code_and_comments(text):
+    """Returns (code_lines, comments).
+
+    code_lines: the file's lines with every comment and string/char-literal
+    *content* replaced by spaces — positions and line structure preserved,
+    so regex rules can't fire inside comments or literals.
+    comments: list of (line_number, comment_text) with 1-based line
+    numbers; block comments contribute one entry per line they span.
+    """
+    code = []
+    comments = []  # (line, text)
+    i = 0
+    n = len(text)
+    line = 1
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_delim = ""
+    comment_buf = []
+    comment_line = 1
+
+    def flush_comment():
+        if comment_buf:
+            comments.append((comment_line, "".join(comment_buf)))
+            del comment_buf[:]
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                comment_line = line
+                code.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                comment_line = line
+                code.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string? Look back for R / u8R / LR / uR / UR prefix
+                # (preceded by a non-identifier char, so FOOBAR" is not one).
+                m = re.search(r'(?:^|[^A-Za-z0-9_])(?:u8|[uUL])?R$',
+                              "".join(code[-4:]))
+                if m:
+                    j = text.find("(", i + 1)
+                    if j != -1 and j - i - 1 <= 16:
+                        raw_delim = ")" + text[i + 1:j] + '"'
+                        state = RAW
+                        code.append('"')
+                        i += 1
+                        continue
+                state = STRING
+                code.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                code.append("'")
+                i += 1
+                continue
+            code.append(c)
+            if c == "\n":
+                line += 1
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                flush_comment()
+                state = NORMAL
+                code.append("\n")
+                line += 1
+            else:
+                comment_buf.append(c)
+                code.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                flush_comment()
+                state = NORMAL
+                code.append("  ")
+                i += 2
+                continue
+            if c == "\n":
+                flush_comment()
+                comment_line = line + 1
+                code.append("\n")
+                line += 1
+            else:
+                comment_buf.append(c)
+                code.append(" ")
+            i += 1
+        elif state == STRING:
+            if c == "\\":
+                code.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = NORMAL
+                code.append('"')
+            elif c == "\n":  # unterminated; recover
+                state = NORMAL
+                code.append("\n")
+                line += 1
+            else:
+                code.append(" ")
+            i += 1
+        elif state == CHAR:
+            if c == "\\":
+                code.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = NORMAL
+                code.append("'")
+            elif c == "\n":
+                state = NORMAL
+                code.append("\n")
+                line += 1
+            else:
+                code.append(" ")
+            i += 1
+        else:  # RAW
+            if text.startswith(raw_delim, i):
+                state = NORMAL
+                code.append(" " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+                continue
+            if c == "\n":
+                code.append("\n")
+                line += 1
+            else:
+                code.append(" ")
+            i += 1
+    flush_comment()
+    return "".join(code).split("\n"), comments
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+class Suppression:
+    def __init__(self, comment_line, rules, justification, malformed_reason):
+        self.comment_line = comment_line
+        self.rules = rules
+        self.justification = justification
+        self.malformed = malformed_reason  # None when well-formed
+        self.target_line = None  # resolved against code lines
+        self.used = False
+
+
+def parse_suppressions(comments, code_lines, known_rules):
+    """Extract aglint:allow markers and resolve the line each one covers.
+
+    A marker on a line that also has code covers that line; a marker on a
+    comment-only line covers the next line that has code (skipping blank
+    and comment-only lines).
+    """
+    sups = []
+    for lineno, ctext in comments:
+        m = ALLOW_PATTERN.search(ctext)
+        if not m:
+            continue
+        malformed = None
+        rules = []
+        if m.group(1) is None:
+            malformed = "missing (rule-id) list"
+        else:
+            rules = [r.strip() for r in m.group(2).split(",") if r.strip()]
+            if not rules:
+                malformed = "empty rule-id list"
+            else:
+                unknown = [r for r in rules if r not in known_rules]
+                if unknown:
+                    malformed = "unknown rule id(s): " + ", ".join(unknown)
+        justification = m.group(3).strip()
+        if malformed is None and not justification:
+            malformed = "missing justification"
+        sup = Suppression(lineno, rules, justification, malformed)
+        # Resolve target line.
+        idx = lineno - 1
+        if idx < len(code_lines) and code_lines[idx].strip():
+            sup.target_line = lineno
+        else:
+            j = idx + 1
+            while j < len(code_lines):
+                if code_lines[j].strip():
+                    sup.target_line = j + 1
+                    break
+                j += 1
+        sups.append(sup)
+    return sups
+
+
+# ---------------------------------------------------------------------------
+# Per-file analysis
+# ---------------------------------------------------------------------------
+
+def path_in(relpath, prefixes):
+    return any(relpath == p or relpath.startswith(p.rstrip("/") + "/")
+               for p in prefixes)
+
+
+def rule_applies(config, rule_id, relpath):
+    rcfg = config["rules"].get(rule_id, {})
+    if not rcfg.get("enabled", True):
+        return False
+    paths = rcfg.get("paths")
+    if paths is not None and not path_in(relpath, paths):
+        return False
+    if path_in(relpath, rcfg.get("exempt_files", [])):
+        return False
+    return True
+
+
+def layer_of(relpath, layers):
+    best = None
+    for prefix in layers:
+        if path_in(relpath, [prefix]):
+            if best is None or len(prefix) > len(best):
+                best = prefix
+    return best
+
+
+def analyze_file(relpath, text, config):
+    """Returns the list of finding dicts for one file (status unset)."""
+    code_lines, comments = split_code_and_comments(text)
+    findings = []
+
+    def add(rule, line, message):
+        findings.append({
+            "rule": rule,
+            "file": relpath,
+            "line": line,
+            "message": message,
+        })
+
+    # --- determinism + locking: pattern rules on comment/string-free code
+    for lineno, cline in enumerate(code_lines, start=1):
+        stripped = cline.lstrip()
+        is_preproc = stripped.startswith("#")
+        if rule_applies(config, "AG-DET-001", relpath) and not is_preproc:
+            for pat, what in DET1_PATTERNS:
+                if pat.search(cline):
+                    add("AG-DET-001", lineno,
+                        f"{what}: nondeterministic randomness; all randomness "
+                        "must flow from the run seed via common/rng.h")
+        if rule_applies(config, "AG-DET-002", relpath) and not is_preproc:
+            for pat, what in DET2_PATTERNS:
+                if pat.search(cline):
+                    add("AG-DET-002", lineno,
+                        f"{what}: wall-clock read outside src/rt/clock.h; "
+                        "route through TickClock/Stopwatch so nondeterministic "
+                        "inputs stay enumerable")
+        if rule_applies(config, "AG-DET-003", relpath) and not is_preproc:
+            m = DET3_PATTERN.search(cline)
+            if m:
+                add("AG-DET-003", lineno,
+                    f"{m.group(0)}: hash-ordered container in code that can "
+                    "feed trace hashes, Metrics, ViolationReport, or "
+                    "telemetry; iteration order varies with the standard "
+                    "library's hash seed — use an ordered container, a flat "
+                    "array, or suppress with a never-iterated justification")
+        if rule_applies(config, "AG-DET-004", relpath) and not is_preproc:
+            m = DET4_PATTERN.search(cline)
+            if m:
+                add("AG-DET-004", lineno,
+                    f"pointer-keyed ordered container ({m.group(0).strip()}): "
+                    "iteration order is allocation-address order, which is "
+                    "nondeterministic across runs")
+        if rule_applies(config, "AG-LCK-001", relpath) and not is_preproc:
+            m = LCK1_PATTERN.search(cline)
+            if m:
+                add("AG-LCK-001", lineno,
+                    f"raw {m.group(0).strip()} call: lock lifetimes must be "
+                    "scoped (MutexLock / std::lock_guard), never paired by "
+                    "hand")
+        if rule_applies(config, "AG-LCK-002", relpath):
+            m = LCK2_PATTERN.search(cline)
+            if m and not is_preproc:
+                add("AG-LCK-002", lineno,
+                    f"{m.group(0)} in src/rt: the runtime must use the "
+                    "annotated asyncgossip::Mutex / MutexLock "
+                    "(common/thread_annotations.h) so clang -Wthread-safety "
+                    "can check every guarded access")
+
+    # --- layering: on raw include lines ------------------------------------
+    layers = config.get("layers", {})
+    own_layer = layer_of(relpath, layers)
+    for lineno, raw_line in enumerate(text.split("\n"), start=1):
+        m = INCLUDE_PATTERN.match(raw_line)
+        if not m:
+            continue
+        header = m.group(1)
+        if rule_applies(config, "AG-LAY-002", relpath):
+            if path_in(relpath, ["src/gossip"]) and header == "sim/engine.h":
+                add("AG-LAY-002", lineno,
+                    'src/gossip file includes "sim/engine.h": algorithm code '
+                    "must interact with the world through StepContext only "
+                    "(the seam the rt runtime and fuzzer rely on)")
+        if rule_applies(config, "AG-LAY-001", relpath) and own_layer:
+            if "/" in header:
+                top = header.split("/", 1)[0]
+                allowed = layers[own_layer]
+                if top not in allowed:
+                    add("AG-LAY-001", lineno,
+                        f'{own_layer} may not include "{header}": the layer '
+                        f"DAG permits {own_layer} -> {{{', '.join(allowed)}}} "
+                        "only (common -> sim -> gossip -> {rt, consensus, "
+                        "lowerbound} -> apps/tools/bench)")
+
+    # --- suppressions -------------------------------------------------------
+    sups = parse_suppressions(comments, code_lines, set(RULES))
+    for sup in sups:
+        if sup.malformed is not None:
+            if rule_applies(config, "AG-SUP-001", relpath):
+                add("AG-SUP-001", sup.comment_line,
+                    f"aglint:allow is {sup.malformed}; a suppression must "
+                    "name known rule ids and carry a justification on the "
+                    "same line")
+            continue
+        for f in findings:
+            if (f["rule"] in sup.rules and f["line"] == sup.target_line
+                    and f.get("status") != "suppressed"):
+                f["status"] = "suppressed"
+                f["justification"] = sup.justification
+                sup.used = True
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Tree walking, baseline, reporting
+# ---------------------------------------------------------------------------
+
+def collect_files(root, config):
+    exts = tuple(config.get("extensions", [".h", ".cpp"]))
+    excludes = config.get("exclude_paths", [])
+    files = []
+    for scan_dir in config.get("scan_dirs", ["src"]):
+        top = os.path.join(root, scan_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if path_in(rel_dir, excludes):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if not name.endswith(exts):
+                    continue
+                rel = f"{rel_dir}/{name}"
+                if path_in(rel, excludes):
+                    continue
+                files.append(rel)
+    return files
+
+
+def fingerprint(root, finding):
+    """Stable id for baselining: rule + file + offending line's text (not
+    its number, so unrelated edits above don't churn the baseline)."""
+    try:
+        with open(os.path.join(root, finding["file"]), encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        line_text = lines[finding["line"] - 1].strip()
+    except (OSError, IndexError):
+        line_text = ""
+    blob = f'{finding["rule"]}|{finding["file"]}|{line_text}'
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def load_json(path, what):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as e:
+        raise ToolError(f"cannot read {what} {path}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise ToolError(f"{what} {path} is not valid JSON: {e}") from e
+
+
+def validate_config(config):
+    if config.get("schema") != "asyncgossip-lint-rules-v1":
+        raise ToolError("rule config: expected schema "
+                        f"asyncgossip-lint-rules-v1, got {config.get('schema')!r}")
+    for rule_id in config.get("rules", {}):
+        if rule_id not in RULES:
+            raise ToolError(f"rule config mentions unknown rule {rule_id}")
+    for layer, allowed in config.get("layers", {}).items():
+        if not isinstance(allowed, list):
+            raise ToolError(f"layers[{layer}] must be a list of include dirs")
+
+
+def run_analysis(root, config):
+    """Analyze the tree; returns (findings, files_scanned). Every finding
+    has status 'active' or 'suppressed'."""
+    files = collect_files(root, config)
+    findings = []
+    for rel in files:
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8",
+                      errors="replace") as fh:
+                text = fh.read()
+        except OSError as e:
+            raise ToolError(f"cannot read {rel}: {e}") from e
+        for f in analyze_file(rel, text, config):
+            f.setdefault("status", "active")
+            findings.append(f)
+    findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
+    return findings, len(files)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="aglint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", required=True,
+                        help="repository root to analyze")
+    parser.add_argument("--config",
+                        help="rule config JSON (default: rules.json next to "
+                             "this script)")
+    parser.add_argument("--baseline",
+                        help="baseline JSON of tolerated findings")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline with the current active "
+                             "findings (ratchet mode)")
+    parser.add_argument("--json", dest="json_out",
+                        help="write asyncgossip-lint-v1 findings to this file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-finding stdout lines")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            meta = RULES[rule_id]
+            print(f"{rule_id}  [{meta['family']}]  {meta['summary']}")
+        return 0
+
+    try:
+        root = os.path.abspath(args.root)
+        if not os.path.isdir(root):
+            raise ToolError(f"--root {args.root} is not a directory")
+        config_path = args.config or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "rules.json")
+        config = load_json(config_path, "rule config")
+        validate_config(config)
+
+        findings, files_scanned = run_analysis(root, config)
+
+        baseline_prints = set()
+        if args.baseline and not args.update_baseline:
+            bdoc = load_json(args.baseline, "baseline")
+            if bdoc.get("schema") != "asyncgossip-lint-baseline-v1":
+                raise ToolError("baseline: expected schema "
+                                "asyncgossip-lint-baseline-v1")
+            baseline_prints = {e["fingerprint"] for e in bdoc.get("findings", [])}
+        for f in findings:
+            f["fingerprint"] = fingerprint(root, f)
+            if f["status"] == "active" and f["fingerprint"] in baseline_prints:
+                f["status"] = "baselined"
+
+        if args.update_baseline:
+            if not args.baseline:
+                raise ToolError("--update-baseline requires --baseline")
+            entries = [{
+                "fingerprint": f["fingerprint"],
+                "rule": f["rule"],
+                "file": f["file"],
+            } for f in findings if f["status"] == "active"]
+            with open(args.baseline, "w", encoding="utf-8") as fh:
+                json.dump({"schema": "asyncgossip-lint-baseline-v1",
+                           "findings": entries}, fh, indent=2)
+                fh.write("\n")
+            for f in findings:
+                if f["status"] == "active":
+                    f["status"] = "baselined"
+
+        counts = {"active": 0, "suppressed": 0, "baselined": 0}
+        for f in findings:
+            counts[f["status"]] += 1
+
+        if args.json_out:
+            doc = {
+                "schema": SCHEMA,
+                "tool": "aglint",
+                "version": TOOL_VERSION,
+                "root": root,
+                "files_scanned": files_scanned,
+                "rules": [{"id": rid, **RULES[rid]} for rid in sorted(RULES)],
+                "findings": findings,
+                "counts": counts,
+            }
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+
+        if not args.quiet:
+            for f in findings:
+                tag = "" if f["status"] == "active" else f' [{f["status"]}]'
+                print(f'{f["file"]}:{f["line"]}: {f["rule"]}{tag}: '
+                      f'{f["message"]}')
+            print(f"aglint: {files_scanned} files, {counts['active']} active, "
+                  f"{counts['suppressed']} suppressed, "
+                  f"{counts['baselined']} baselined")
+        return 1 if counts["active"] > 0 else 0
+    except ToolError as e:
+        print(f"aglint: error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""aglint self-test: run the analyzer against tests/lint_fixtures/.
+
+For every fixture, the file's `aglint-fixture-as:` directive gives the
+pretend repo-relative path (rules are path-scoped) and its `aglint-expect:`
+directives give the exact set of rule ids that must fire (or `none`). Each
+fixture is copied alone into a temporary root and analyzed with the
+production rule config, so this exercises aglint exactly as the repo run
+does — no special fixture mode in the tool.
+
+Also runs the tamper check: stripping the justification off the
+suppression in good_suppressed.cpp must surface AG-SUP-001 *and* the
+finding the suppression was hiding (a suppression cannot be hollowed out
+silently).
+
+Exit codes: 0 all fixtures behave, 1 mismatches, 2 harness error.
+"""
+
+import json
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import aglint  # noqa: E402
+
+FIXTURE_AS = re.compile(r"aglint-fixture-as:\s*(\S+)")
+EXPECT = re.compile(r"aglint-expect:\s*(\S+)")
+
+
+def load_config(repo_root):
+    path = os.path.join(repo_root, "tools", "aglint", "rules.json")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def active_rules(config, pretend_path, text):
+    """Analyze one fixture body at its pretend path in a fresh temp root;
+    returns the sorted list of active (unsuppressed) rule ids."""
+    with tempfile.TemporaryDirectory(prefix="aglint_fixture_") as root:
+        dest = os.path.join(root, pretend_path)
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        findings, _ = aglint.run_analysis(root, config)
+    return sorted({f["rule"] for f in findings if f["status"] == "active"})
+
+
+def main():
+    repo_root = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    fixture_dir = os.path.join(repo_root, "tests", "lint_fixtures")
+    if not os.path.isdir(fixture_dir):
+        print(f"selftest: fixture dir {fixture_dir} missing", file=sys.stderr)
+        return 2
+    config = load_config(repo_root)
+
+    failures = 0
+    checked = 0
+    suppressed_fixture = None  # (pretend_path, text) for the tamper check
+    for name in sorted(os.listdir(fixture_dir)):
+        if not name.endswith((".h", ".cpp", ".cc", ".hpp")):
+            continue
+        path = os.path.join(fixture_dir, name)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        m = FIXTURE_AS.search(text)
+        if not m:
+            print(f"FAIL {name}: missing aglint-fixture-as directive")
+            failures += 1
+            continue
+        pretend = m.group(1)
+        expected = sorted({e for e in EXPECT.findall(text) if e != "none"})
+        if name.startswith("bad_") and not expected:
+            print(f"FAIL {name}: bad fixture declares no expected rules")
+            failures += 1
+            continue
+        if name.startswith("good_") and expected:
+            print(f"FAIL {name}: good fixture must expect none")
+            failures += 1
+            continue
+
+        got = active_rules(config, pretend, text)
+        checked += 1
+        if got != expected:
+            print(f"FAIL {name} (as {pretend}): expected {expected or 'none'}"
+                  f", got {got or 'none'}")
+            failures += 1
+        else:
+            print(f"ok   {name}: {', '.join(got) if got else 'clean'}")
+        if name == "good_suppressed.cpp":
+            suppressed_fixture = (pretend, text)
+
+    # Tamper check: a justification-stripped suppression must not suppress.
+    if suppressed_fixture is None:
+        print("FAIL tamper-check: good_suppressed.cpp fixture missing")
+        failures += 1
+    else:
+        pretend, text = suppressed_fixture
+        tampered_lines = []
+        stripped = False
+        for line in text.split("\n"):
+            m = re.search(r"^(.*aglint:allow\([^)]*\)).*$", line)
+            if m and not stripped:
+                tampered_lines.append(m.group(1))
+                stripped = True
+                continue
+            # Drop the justification's continuation comment line too.
+            if stripped and line.strip().startswith("//") \
+                    and "aglint" not in line and tampered_lines \
+                    and "aglint:allow" in tampered_lines[-1]:
+                continue
+            tampered_lines.append(line)
+        if not stripped:
+            print("FAIL tamper-check: no aglint:allow found to strip")
+            failures += 1
+        else:
+            got = active_rules(config, pretend, "\n".join(tampered_lines))
+            want = ["AG-DET-003", "AG-SUP-001"]
+            if got == want:
+                print("ok   tamper-check: stripped justification fires "
+                      + ", ".join(want))
+            else:
+                print(f"FAIL tamper-check: expected {want}, got {got}")
+                failures += 1
+        checked += 1
+
+    print(f"selftest: {checked} checks, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
