@@ -27,7 +27,7 @@ AG_BENCH_SUITE("rt");
 namespace {
 
 void run_rt_case(benchmark::State& state, GossipAlgorithm algorithm,
-                 RtInject inject) {
+                 RtInject inject, bool flight = false) {
   RtConfig config;
   config.spec.algorithm = algorithm;
   config.spec.n = static_cast<std::size_t>(state.range(0));
@@ -36,8 +36,11 @@ void run_rt_case(benchmark::State& state, GossipAlgorithm algorithm,
   config.spec.delta = 2;
   config.inject = inject;
   config.tick_us = 100;
+  config.flight = flight;
 
   double wall_ms = 0;
+  double flight_dropped = 0;
+  double recorder_overhead_ms = 0;
   double end_ticks = 0;
   double realized_d = 0;
   double realized_delta = 0;
@@ -54,6 +57,8 @@ void run_rt_case(benchmark::State& state, GossipAlgorithm algorithm,
     realized_delta += static_cast<double>(res.outcome.realized_delta);
     completed += res.outcome.completed ? 1 : 0;
     messages += static_cast<double>(res.outcome.messages);
+    flight_dropped += static_cast<double>(res.flight_dropped);
+    recorder_overhead_ms += res.recorder_overhead_ms;
     ++runs;
   }
   const double r = runs > 0 ? runs : 1;
@@ -63,9 +68,14 @@ void run_rt_case(benchmark::State& state, GossipAlgorithm algorithm,
   state.counters["realized_delta"] = realized_delta / r;
   state.counters["completed"] = completed / r;
   state.counters["messages"] = messages / r;
+  if (flight) {
+    state.counters["recorder_dropped"] = flight_dropped / r;
+    state.counters["recorder_overhead_ms"] = recorder_overhead_ms / r;
+  }
 
   GossipSpec label_spec = config.spec;
-  record_case(state, std::string("rt/") + to_string(inject) + "/" +
+  record_case(state, std::string("rt/") + to_string(inject) +
+                         (flight ? "+recorder" : "") + "/" +
                          spec_label(label_spec));
 }
 
@@ -81,7 +91,17 @@ void BM_RtTearsCrash(benchmark::State& state) {
   run_rt_case(state, GossipAlgorithm::kTears, RtInject::kCrash);
 }
 
+/// BM_RtEars with the flight recorder on — same spec, same seeds. The
+/// bench gate's ratio check holds wall_ms_per_ktick of this case to within
+/// 5% of the recorder-off case (the tentpole's "cheap when enabled" bound).
+void BM_RtEarsRecorder(benchmark::State& state) {
+  run_rt_case(state, GossipAlgorithm::kEars, RtInject::kNone,
+              /*flight=*/true);
+}
+
 BENCHMARK(BM_RtEars)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_RtEarsRecorder)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 BENCHMARK(BM_RtEarsCrash)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond)
     ->Iterations(3);

@@ -1,0 +1,100 @@
+#include "common/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace asyncgossip {
+
+namespace {
+
+constexpr const char* kZoneNames[kFlightZoneCount] = {
+    "wheel-drain",   "k-way-merge", "step-dispatch",
+    "inbox-poll",    "algo-step",   "pacing-sleep",
+};
+
+}  // namespace
+
+const char* flight_zone_name(FlightZoneId id) {
+  const auto i = static_cast<std::size_t>(id);
+  return i < kFlightZoneCount ? kZoneNames[i] : "unknown-zone";
+}
+
+bool flight_zone_from_name(const char* name, FlightZoneId* out) {
+  for (std::size_t i = 0; i < kFlightZoneCount; ++i) {
+    if (std::strcmp(name, kZoneNames[i]) == 0) {
+      *out = static_cast<FlightZoneId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FlightRecorder::FlightRecorder(std::size_t rings,
+                               std::size_t capacity_per_ring) {
+  rings_.reserve(rings);
+  for (std::size_t i = 0; i < rings; ++i)
+    rings_.push_back(std::make_unique<FlightRing>(capacity_per_ring));
+}
+
+void FlightRecorder::drain(std::vector<FlightRecord>* out) {
+  const std::size_t start = out->size();
+  FlightRecord r;
+  std::uint64_t dropped = 0;
+  for (auto& ring : rings_) {
+    while (ring->pop(&r)) out->push_back(r);
+    ring->publish_consumed();
+    dropped += ring->dropped();  // cumulative per ring; assign, don't add
+  }
+  drained_dropped_ = dropped;
+  drained_ = true;
+  // Each ring is wall-clock-ordered on its own (one producer, monotone
+  // clock); a stable sort therefore only interleaves across rings.
+  std::stable_sort(out->begin() + static_cast<std::ptrdiff_t>(start),
+                   out->end(), [](const FlightRecord& a,
+                                  const FlightRecord& b) {
+                     return a.wall_ns < b.wall_ns;
+                   });
+}
+
+std::uint64_t FlightRecorder::pushed_total() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->pushed();
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped_total() const {
+  if (drained_) return drained_dropped_;
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->lag_dropped_estimate();
+  return total;
+}
+
+void flight_record_send(FlightRing* ring, std::uint64_t message_id,
+                        std::uint32_t from, std::uint32_t to,
+                        std::uint64_t tick, std::uint64_t deliver_after) {
+  if (ring == nullptr) return;
+  FlightRecord r;
+  r.kind = static_cast<std::uint64_t>(FlightKind::kSend);
+  r.a = message_id;
+  r.b = FlightRecord::pack_link(from, to);
+  r.tick = tick;
+  r.wall_ns = flight_now_ns();
+  r.extra = deliver_after;
+  ring->push(r);
+}
+
+void flight_record_deliver(FlightRing* ring, std::uint64_t message_id,
+                           std::uint32_t from, std::uint32_t to,
+                           std::uint64_t tick, std::uint64_t send_tick) {
+  if (ring == nullptr) return;
+  FlightRecord r;
+  r.kind = static_cast<std::uint64_t>(FlightKind::kDeliver);
+  r.a = message_id;
+  r.b = FlightRecord::pack_link(from, to);
+  r.tick = tick;
+  r.wall_ns = flight_now_ns();
+  r.extra = send_tick;
+  ring->push(r);
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,171 @@
+// The flight recorder: always-compiled, cheap-when-disabled run
+// instrumentation for the engine and the real-time runtime.
+//
+// Three record kinds flow through per-thread SPSC rings
+// (common/spsc_ring.h):
+//   - kSend / kDeliver: the two ends of a causal message span. Every
+//     send→deliver pair carries the message id, the link (from, to), the
+//     model tick and a wall-clock timestamp, so one rumor's propagation is
+//     reconstructible as a causally linked trace (exported to Chrome
+//     trace-event JSON by sim/span_export.h; `gossiplab spans` renders the
+//     latency percentiles).
+//   - kZone: a scoped profiling zone — RAII begin/end around a hot-path
+//     phase (engine wheel drain, k-way merge, step dispatch; rt inbox
+//     poll, algorithm step, pacing sleep), recorded as begin + duration.
+//
+// The recorder NEVER feeds back into the execution: it only appends to its
+// own rings, so trace hashes, Metrics and telemetry stay bit-identical with
+// recording on or off (pinned by tests/test_flight_recorder.cpp). When no
+// ring is attached the cost is one null-pointer test per site.
+//
+// Locking: none, by design and by lint — aglint AG-LCK-002 covers these
+// files, so introducing a std::mutex here fails the gate.
+//
+// Wall clock: flight_now_ns() below is, together with rt/clock.h, one of
+// the two sanctioned wall-clock read sites (aglint AG-DET-002
+// exempt_files). Timestamps only ever land in flight records, never in an
+// execution-visible output.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spsc_ring.h"
+
+namespace asyncgossip {
+
+/// Nanoseconds on the steady clock; the time base of every flight record.
+inline std::uint64_t flight_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+enum class FlightKind : std::uint64_t {
+  kSend = 0,     // a = message id, b = link, extra = deliver_after tick
+  kDeliver = 1,  // a = message id, b = link, extra = send tick
+  kZone = 2,     // a = zone id, b = actor, extra = duration ns
+};
+
+/// The instrumented hot-path phases. Names (flight_zone_name) are stable
+/// identifiers: they appear in the flight log and the exported trace.
+enum class FlightZoneId : std::uint64_t {
+  kWheelDrain = 0,    // engine: collect_deliveries bucket drain
+  kKwayMerge = 1,     // engine: multi-bucket merge inside the drain
+  kStepDispatch = 2,  // engine: process step() + dispatch_sends
+  kInboxPoll = 3,     // rt: transport drain
+  kAlgoStep = 4,      // rt: algorithm step() call
+  kPacingSleep = 5,   // rt: sleep to the next pacing target
+};
+
+inline constexpr std::size_t kFlightZoneCount = 6;
+
+/// Stable short name for a zone id ("wheel-drain", "inbox-poll", ...).
+const char* flight_zone_name(FlightZoneId id);
+
+/// Inverse of flight_zone_name; returns false on an unknown name.
+bool flight_zone_from_name(const char* name, FlightZoneId* out);
+
+/// One fixed-size record; exactly six 64-bit words so the ring stores it
+/// as atomic words (see SpscRing).
+struct FlightRecord {
+  std::uint64_t kind = 0;     // FlightKind
+  std::uint64_t a = 0;        // message id or zone id
+  std::uint64_t b = 0;        // link (from << 32 | to) or zone actor
+  std::uint64_t tick = 0;     // model tick at the record site
+  std::uint64_t wall_ns = 0;  // flight_now_ns() at send/deliver/zone begin
+  std::uint64_t extra = 0;    // kind-specific (see FlightKind)
+
+  static std::uint64_t pack_link(std::uint32_t from, std::uint32_t to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  std::uint32_t link_from() const {
+    return static_cast<std::uint32_t>(b >> 32);
+  }
+  std::uint32_t link_to() const {
+    return static_cast<std::uint32_t>(b & 0xffffffffULL);
+  }
+};
+
+using FlightRing = SpscRing<FlightRecord>;
+
+/// Owns one ring per recording thread (rt workers) or per engine. Rings
+/// are created up front — attaching one to a hot path is handing out a
+/// plain pointer, and a null pointer means "recording off".
+class FlightRecorder {
+ public:
+  /// `rings` rings of `capacity_per_ring` records each (rounded up to a
+  /// power of two per SpscRing).
+  FlightRecorder(std::size_t rings, std::size_t capacity_per_ring);
+
+  std::size_t ring_count() const { return rings_.size(); }
+  FlightRing* ring(std::size_t i) { return rings_[i].get(); }
+
+  /// Drains every ring (consumer side) and appends the records to `out`,
+  /// merged into one wall-clock-ordered stream (stable across equal
+  /// timestamps: ring order). Call after the producing threads stopped.
+  void drain(std::vector<FlightRecord>* out);
+
+  /// Records pushed across all rings so far (live-safe, approximate while
+  /// producers run).
+  std::uint64_t pushed_total() const;
+
+  /// Records lost to overwriting. After drain() this is the exact count;
+  /// while producers run it is the live lower-bound estimate.
+  std::uint64_t dropped_total() const;
+
+ private:
+  std::vector<std::unique_ptr<FlightRing>> rings_;
+  std::uint64_t drained_dropped_ = 0;
+  bool drained_ = false;
+};
+
+/// RAII profiling zone: records a kZone record on destruction, carrying
+/// begin wall time and duration. A null ring disables the zone at the cost
+/// of one branch; construction does not read the clock in that case.
+class FlightZone {
+ public:
+  FlightZone(FlightRing* ring, FlightZoneId id, std::uint64_t actor,
+             std::uint64_t tick)
+      : ring_(ring), id_(id), actor_(actor), tick_(tick) {
+    if (ring_ != nullptr) begin_ns_ = flight_now_ns();
+  }
+
+  ~FlightZone() {
+    if (ring_ == nullptr) return;
+    FlightRecord r;
+    r.kind = static_cast<std::uint64_t>(FlightKind::kZone);
+    r.a = static_cast<std::uint64_t>(id_);
+    r.b = actor_;
+    r.tick = tick_;
+    r.wall_ns = begin_ns_;
+    r.extra = flight_now_ns() - begin_ns_;
+    ring_->push(r);
+  }
+
+  FlightZone(const FlightZone&) = delete;
+  FlightZone& operator=(const FlightZone&) = delete;
+
+ private:
+  FlightRing* ring_;
+  FlightZoneId id_;
+  std::uint64_t actor_;
+  std::uint64_t tick_;
+  std::uint64_t begin_ns_ = 0;
+};
+
+/// Helpers for the two span ends (kept out of line so call sites stay one
+/// branch + one call when enabled). Like FlightZone, a null ring means
+/// "recording off" and the call is a no-op.
+void flight_record_send(FlightRing* ring, std::uint64_t message_id,
+                        std::uint32_t from, std::uint32_t to,
+                        std::uint64_t tick, std::uint64_t deliver_after);
+void flight_record_deliver(FlightRing* ring, std::uint64_t message_id,
+                           std::uint32_t from, std::uint32_t to,
+                           std::uint64_t tick, std::uint64_t send_tick);
+
+}  // namespace asyncgossip

@@ -1,0 +1,164 @@
+// Lock-free single-producer/single-consumer ring with overwrite-oldest
+// semantics — the storage primitive behind the flight recorder
+// (common/flight_recorder.h).
+//
+// Design constraints, in order:
+//   1. The producer is a runtime hot path (one ring per rt worker thread,
+//      one per engine). push() must be wait-free and never block, allocate,
+//      or take a lock — so when the consumer lags, the producer *overwrites
+//      the oldest record* instead of stalling or failing. Lost records are
+//      counted, never silent (drop accounting is part of the recorder's
+//      contract; see docs/OBSERVABILITY.md).
+//   2. The consumer may run concurrently (the live-stats snapshot thread
+//      reads counters while workers record) and must be race-free under
+//      TSan, not just "works on x86". Overwriting a slot the consumer might
+//      be reading is the classic seqlock problem, so each slot carries a
+//      sequence word and the payload is stored as relaxed atomic words; a
+//      read validates the sequence on both sides of the copy (Boehm,
+//      "Can seqlocks get along with programming language memory models?").
+//   3. No mutex anywhere: aglint AG-LCK-002 covers this file, so a
+//      std::mutex sneaking in fails the lint gate (the known-bad fixture
+//      tests/lint_fixtures/bad_lck_recorder.cpp proves the rule fires).
+//
+// Slot protocol: position pos lives in slot pos % capacity. Its sequence
+// word is 2*pos + 1 while the producer writes generation pos and 2*pos + 2
+// once the write completes (initially 0). The consumer computes the
+// expected sequence from the position it wants; any other value means the
+// producer lapped it and the record is gone — counted as dropped. The
+// release fence before the payload stores and the acquire fence after the
+// payload loads make a torn read impossible: if the consumer observed any
+// word of a newer generation, the second sequence check cannot pass.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace asyncgossip {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "ring payloads are copied as raw words");
+
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer only. Wait-free; overwrites the oldest unread record when the
+  /// ring is full (the consumer accounts for the loss on its side).
+  void push(const T& value) {
+    const std::uint64_t pos = write_pos_++;
+    Slot& slot = slots_[pos & mask_];
+    slot.seq.store(2 * pos + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    std::uint64_t words[kWords] = {};
+    std::memcpy(words, &value, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i)
+      slot.words[i].store(words[i], std::memory_order_relaxed);
+    slot.seq.store(2 * pos + 2, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_release);
+  }
+
+  /// Consumer only. Pops the oldest surviving record; returns false when
+  /// the ring is empty. Records the producer overwrote before the consumer
+  /// reached them are skipped and added to dropped().
+  bool pop(T* out) {
+    for (;;) {
+      const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+      if (read_pos_ >= tail) return false;
+      if (tail - read_pos_ > capacity_) {
+        // The producer lapped us while we were away: everything below
+        // tail - capacity is guaranteed overwritten.
+        dropped_ += (tail - capacity_) - read_pos_;
+        read_pos_ = tail - capacity_;
+      }
+      const std::uint64_t pos = read_pos_;
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t want = 2 * pos + 2;
+      if (slot.seq.load(std::memory_order_acquire) != want) {
+        // Lapped between the tail read and here (or mid-overwrite).
+        ++dropped_;
+        ++read_pos_;
+        continue;
+      }
+      std::uint64_t words[kWords];
+      for (std::size_t i = 0; i < kWords; ++i)
+        words[i] = slot.words[i].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != want) {
+        ++dropped_;
+        ++read_pos_;
+        continue;
+      }
+      std::memcpy(out, words, sizeof(T));
+      ++read_pos_;
+      return true;
+    }
+  }
+
+  /// Consumer only: total records lost to overwriting, as discovered so
+  /// far. Final once the producer has stopped and pop() has drained.
+  std::uint64_t dropped() const { return dropped_; }
+
+  // --- cross-thread gauges (any thread; approximate while running) --------
+
+  /// Records pushed so far (exact; monotone).
+  std::uint64_t pushed() const {
+    return tail_.load(std::memory_order_relaxed);
+  }
+
+  /// Lower bound on records already lost: how far the producer has run past
+  /// one full ring of unread records. The consumer's dropped() is the
+  /// authoritative count after a drain; this gauge is for live snapshots.
+  std::uint64_t lag_dropped_estimate() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t consumed = consumed_.load(std::memory_order_relaxed);
+    const std::uint64_t unread = tail - consumed;
+    return unread > capacity_ ? unread - capacity_ : 0;
+  }
+
+  /// Consumer only: publish progress for lag_dropped_estimate() readers.
+  void publish_consumed() {
+    consumed_.store(read_pos_, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+
+  // Producer-owned.
+  std::uint64_t write_pos_ = 0;
+  // Published write count (producer writes, anyone reads).
+  std::atomic<std::uint64_t> tail_{0};
+  // Consumer-owned.
+  std::uint64_t read_pos_ = 0;
+  std::uint64_t dropped_ = 0;
+  // Published read count (consumer writes, anyone reads).
+  std::atomic<std::uint64_t> consumed_{0};
+};
+
+}  // namespace asyncgossip

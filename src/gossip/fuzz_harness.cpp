@@ -406,13 +406,21 @@ StatReport run_gossip_statcheck(const GossipStatCheckOptions& options) {
 
 std::vector<std::pair<std::string, std::string>> statcheck_run_info(
     const GossipStatCheckOptions& options) {
+  // Append piecewise (not `"" + std::to_string(...)`): the rvalue-concat
+  // form trips GCC 12's -Wrestrict false positive (PR 105329) depending on
+  // inlining, and this is clearer anyway.
   std::string ns;
-  for (const std::size_t n : options.ns)
-    ns += (ns.empty() ? "" : ",") + std::to_string(n);
+  for (const std::size_t n : options.ns) {
+    if (!ns.empty()) ns += ',';
+    ns += std::to_string(n);
+  }
   std::string dds;
-  for (const std::pair<Time, Time>& dd : options.dds)
-    dds += (dds.empty() ? "" : ",") + std::to_string(dd.first) + ':' +
-           std::to_string(dd.second);
+  for (const std::pair<Time, Time>& dd : options.dds) {
+    if (!dds.empty()) dds += ',';
+    dds += std::to_string(dd.first);
+    dds += ':';
+    dds += std::to_string(dd.second);
+  }
   char frac[32];
   std::snprintf(frac, sizeof frac, "%.12g", options.f_fraction);
   return {

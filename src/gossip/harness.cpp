@@ -203,6 +203,10 @@ void attach_telemetry(Engine& engine, TelemetryCollector* telemetry) {
   engine.set_probe_sink(telemetry);
 }
 
+void attach_flight(Engine& engine, FlightRing* ring) {
+  if (ring != nullptr) engine.set_flight_ring(ring);
+}
+
 }  // namespace
 
 namespace {
@@ -219,6 +223,7 @@ GossipSweepResult run_spec_result(const GossipSpec& spec) {
   }
   Engine engine = make_gossip_engine(spec);
   attach_telemetry(engine, spec.telemetry);
+  attach_flight(engine, spec.flight);
   const Time budget =
       spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
   GossipSweepResult result;
@@ -294,6 +299,7 @@ AuditedGossipOutcome run_audited_gossip_spec(const GossipSpec& spec) {
   InvariantAuditor auditor(audit_cfg);
   engine.add_observer(&auditor);
   attach_telemetry(engine, spec.telemetry);
+  attach_flight(engine, spec.flight);
   const Time budget =
       spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
   AuditedGossipOutcome result;

@@ -85,6 +85,13 @@ struct GossipSpec {
   /// for this spec's (n, d, delta) — telemetry_config(spec) does that.
   /// Telemetry never perturbs the run (same trace hash and metrics).
   TelemetryCollector* telemetry = nullptr;
+
+  /// Optional flight-recorder ring (common/flight_recorder.h). When
+  /// non-null the engine records causal send/deliver spans and hot-path
+  /// profiling zones into it; the ring must outlive the call. Like
+  /// telemetry, recording never perturbs the run — trace hash, Metrics and
+  /// telemetry output are bit-identical with the ring attached or not.
+  FlightRing* flight = nullptr;
 };
 
 /// TelemetryConfig matching a spec's model parameters.

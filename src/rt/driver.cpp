@@ -11,6 +11,7 @@
 
 #include "common/assert.h"
 #include "common/bitset.h"
+#include "common/flight_recorder.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
 #include "gossip/rumor.h"
@@ -55,13 +56,19 @@ struct ThreadLog {
 /// statically required to hold `mu` (-Wthread-safety under clang).
 struct SharedState {
   explicit SharedState(std::size_t n)
-      : stepping(n, 0), quiescent(n, 0), crashed(n, 0) {}
+      : stepping(n, 0), quiescent(n, 0), crashed(n, 0), step_counts(n, 0) {}
 
   Mutex mu;
   std::vector<std::uint8_t> stepping AG_GUARDED_BY(mu);
   std::vector<std::uint8_t> quiescent AG_GUARDED_BY(mu);
   std::vector<std::uint8_t> crashed AG_GUARDED_BY(mu);
   std::size_t undelivered AG_GUARDED_BY(mu) = 0;
+  // Live-stats counters (read by the snapshot thread; incremented inside
+  // locked sections the workers already take, so the stats cost nothing
+  // extra on the hot path).
+  std::vector<std::uint64_t> step_counts AG_GUARDED_BY(mu);
+  std::uint64_t sends AG_GUARDED_BY(mu) = 0;
+  std::uint64_t deliveries AG_GUARDED_BY(mu) = 0;
 };
 
 /// Budget-gated append shared by events and probes: the cap bounds total
@@ -133,6 +140,7 @@ RtRunResult run_realtime(const RtConfig& config) {
   std::atomic<MessageId> next_id{0};
   const TickClock clock(config.tick_us);
   const Stopwatch wall;
+  FlightRecorder recorder(config.flight ? n : 0, config.flight_capacity);
 
   const auto worker = [&](ProcessId p) {
     Xoshiro256SS rng(mix64(spec.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1))));
@@ -140,6 +148,7 @@ RtRunResult run_realtime(const RtConfig& config) {
     AG_ASSERT_MSG(gp != nullptr, "rt runtime requires GossipProcess instances");
     ThreadLog& log = logs[p];
     ThreadProbeSink sink(&log, &record_budget);
+    FlightRing* const ring = config.flight ? recorder.ring(p) : nullptr;
     const auto push_event = [&](Event e) {
       if (record_budget.take())
         log.events.push_back(e);
@@ -158,29 +167,45 @@ RtRunResult run_realtime(const RtConfig& config) {
       // absorbed by the realized delta the run reports.
       const Time target = stepped ? last_tick + 1 + rng.uniform(delta_target)
                                   : rng.uniform(delta_target);
-      clock.sleep_until_tick(target);
+      {
+        const FlightZone zone(ring, FlightZoneId::kPacingSleep, p, target);
+        clock.sleep_until_tick(target);
+      }
       Time now = clock.now_tick();
       if (stepped && now <= last_tick) now = last_tick + 1;
 
       {
         const MutexLock lock(&state.mu);
         state.stepping[p] = 1;
+        ++state.step_counts[p];
       }
       received.clear();
-      const std::size_t got = transport.drain(p, now, &received);
+      std::size_t got = 0;
+      {
+        const FlightZone zone(ring, FlightZoneId::kInboxPoll, p, now);
+        got = transport.drain(p, now, &received);
+      }
       if (got > 0) {
         const MutexLock lock(&state.mu);
         state.undelivered -= got;
+        state.deliveries += got;
       }
 
       push_event(Event{EventKind::kStep, now, p, kNoProcess, 0, 0, 0});
-      for (const Envelope& env : received)
+      for (const Envelope& env : received) {
         push_event(Event{EventKind::kDelivery, now, p, env.from, env.id,
                          env.send_time, env.deliver_after});
+        if (ring != nullptr)
+          flight_record_deliver(ring, env.id, env.from, p, now,
+                                env.send_time);
+      }
 
       StepContext ctx(p, n, local_step, received);
       ctx.attach_probe(&sink, now);
-      processes[p]->step(ctx);
+      {
+        const FlightZone zone(ring, FlightZoneId::kAlgoStep, p, now);
+        processes[p]->step(ctx);
+      }
 
       auto& out = ctx.outbox();
       const bool crash_now = faults.should_crash(p, local_step);
@@ -205,6 +230,7 @@ RtRunResult run_realtime(const RtConfig& config) {
         {
           const MutexLock lock(&state.mu);
           ++state.undelivered;
+          ++state.sends;
         }
         const Time stamped = transport.submit(std::move(env));
         if (stamped == kTimeMax) {
@@ -215,6 +241,9 @@ RtRunResult run_realtime(const RtConfig& config) {
         } else {
           push_event(Event{EventKind::kSend, now, p, to, id, now, stamped});
         }
+        if (ring != nullptr)
+          flight_record_send(ring, id, p, to, now,
+                             stamped == kTimeMax ? now + delay : stamped);
       }
 
       ++local_step;
@@ -242,6 +271,66 @@ RtRunResult run_realtime(const RtConfig& config) {
   threads.reserve(n);
   for (ProcessId p = 0; p < n; ++p) threads.emplace_back(worker, p);
 
+  // Live-stats snapshot thread: one "asyncgossip-stats-v1" NDJSON line per
+  // interval plus a final one at shutdown, so even sub-interval runs emit a
+  // snapshot. This thread is the stream's only writer; everything it reads
+  // is either under state.mu or a relaxed atomic gauge.
+  std::thread stats_thread;
+  if (config.stats_interval_ms > 0 && config.stats_out != nullptr) {
+    stats_thread = std::thread([&] {
+      std::ostream& out = *config.stats_out;
+      double last_ms = 0.0;
+      double last_emit_ms = 0.0;
+      std::uint64_t last_sends = 0;
+      const auto emit = [&] {
+        std::size_t in_flight = 0;
+        std::uint64_t sends = 0;
+        std::uint64_t deliveries = 0;
+        std::size_t crashed = 0;
+        std::vector<std::uint64_t> steps;
+        {
+          const MutexLock lock(&state.mu);
+          in_flight = state.undelivered;
+          sends = state.sends;
+          deliveries = state.deliveries;
+          steps = state.step_counts;
+          for (ProcessId p = 0; p < n; ++p) crashed += state.crashed[p] != 0;
+        }
+        const double now_ms = wall.elapsed_ms();
+        const double dt_s = (now_ms - last_ms) / 1000.0;
+        const double rate =
+            dt_s > 0.0 ? static_cast<double>(sends - last_sends) / dt_s : 0.0;
+        last_ms = now_ms;
+        last_sends = sends;
+        std::uint64_t steps_total = 0;
+        for (std::uint64_t s : steps) steps_total += s;
+        out << "{\"schema\": \"asyncgossip-stats-v1\", \"wall_ms\": "
+            << now_ms << ", \"tick\": " << clock.now_tick()
+            << ", \"in_flight\": " << in_flight
+            << ", \"steps\": " << steps_total << ", \"sends\": " << sends
+            << ", \"deliveries\": " << deliveries
+            << ", \"envelopes_per_sec\": " << rate
+            << ", \"crashed\": " << crashed << ", \"recorder_pushed\": "
+            << recorder.pushed_total() << ", \"recorder_dropped\": "
+            << recorder.dropped_total() << ", \"per_process_steps\": [";
+        for (ProcessId p = 0; p < n; ++p)
+          out << (p == 0 ? "" : ", ") << steps[p];
+        out << "]}\n";
+        out.flush();
+      };
+      const double interval_ms =
+          static_cast<double>(config.stats_interval_ms);
+      while (!done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (wall.elapsed_ms() - last_emit_ms >= interval_ms) {
+          last_emit_ms = wall.elapsed_ms();
+          emit();
+        }
+      }
+      emit();
+    });
+  }
+
   // Completion monitor: the quiet predicate [network drained AND every
   // process crashed-or-quiescent AND nobody mid-step] is stable — only a
   // stepping process can create messages, quiescent processes send nothing
@@ -262,6 +351,7 @@ RtRunResult run_realtime(const RtConfig& config) {
   }
   done.store(true, std::memory_order_release);
   for (std::thread& t : threads) t.join();
+  if (stats_thread.joinable()) stats_thread.join();
   const double wall_ms = wall.elapsed_ms();
 
   // join() established happens-before with every worker, but the static
@@ -277,6 +367,15 @@ RtRunResult run_realtime(const RtConfig& config) {
   RtRunResult result;
   result.outcome.completed = completed;
   result.outcome.wall_ms = wall_ms;
+  if (config.flight) {
+    // Post-run recorder cost: drain + wall-clock merge of the rings. The
+    // workers have joined, so the consumer side runs uncontended.
+    const Stopwatch drain_watch;
+    recorder.drain(&result.flight);
+    result.flight_pushed = recorder.pushed_total();
+    result.flight_dropped = recorder.dropped_total();
+    result.recorder_overhead_ms = drain_watch.elapsed_ms();
+  }
   for (ThreadLog& log : logs) {
     result.events.insert(result.events.end(), log.events.begin(),
                          log.events.end());
@@ -452,6 +551,17 @@ void write_rt_trace(std::ostream& os, const RtConfig& config,
        << " records dropped by the bounded recorder; this trace is a prefix\n";
   for (const Event& e : result.events)
     os << TraceRecorder::format_event(e) << '\n';
+}
+
+FlightLogHeader rt_flight_header(const RtConfig& config,
+                                 const RtRunResult& result) {
+  FlightLogHeader h;
+  h.n = config.spec.n;
+  h.tick_us = config.tick_us;
+  h.realized_d = result.outcome.realized_d;
+  h.realized_delta = result.outcome.realized_delta;
+  h.dropped = result.flight_dropped;
+  return h;
 }
 
 ViolationReport audit_rt_run(const RtConfig& config,

@@ -29,9 +29,11 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "gossip/harness.h"
 #include "rt/fault.h"
 #include "sim/audit.h"
+#include "sim/span_export.h"
 #include "sim/trace.h"
 
 namespace asyncgossip {
@@ -50,6 +52,21 @@ struct RtConfig {
   /// Cap on recorded events across all threads; overflow is counted in
   /// RtRunResult::events_dropped (and leaves the trace unauditable).
   std::size_t max_events = 1 << 20;
+  /// Flight recorder (common/flight_recorder.h): when true, every worker
+  /// thread records causal send→deliver spans and profiling zones into its
+  /// own lock-free ring; the merged records land in RtRunResult::flight.
+  /// Off by default — the disabled cost is one branch per site.
+  bool flight = false;
+  /// Per-thread ring capacity in records (rounded up to a power of two).
+  /// A full ring overwrites its oldest records; losses are counted in
+  /// RtRunResult::flight_dropped, never silent.
+  std::size_t flight_capacity = 1 << 14;
+  /// Live stats: when > 0 a snapshot thread emits one
+  /// "asyncgossip-stats-v1" NDJSON line to *stats_out every interval (plus
+  /// a final line at shutdown). stats_out must be non-null to enable and
+  /// must outlive the run; the snapshot thread is its only writer.
+  std::uint64_t stats_interval_ms = 0;
+  std::ostream* stats_out = nullptr;
 };
 
 /// End-of-run summary, mirroring GossipOutcome where the fields coincide.
@@ -94,6 +111,17 @@ struct RtRunResult {
   /// Probe reports, time-ordered.
   std::vector<RtProbeRecord> probes;
   std::size_t events_dropped = 0;
+  /// Flight records merged wall-clock-ordered across all rings (empty
+  /// unless config.flight).
+  std::vector<FlightRecord> flight;
+  /// Total records the workers pushed into the rings.
+  std::uint64_t flight_pushed = 0;
+  /// Records lost to ring overwriting (exact, counted during the drain).
+  std::uint64_t flight_dropped = 0;
+  /// Wall time spent draining and merging the rings after the run ended —
+  /// the recorder's post-run cost. The in-run cost is what the bench gate's
+  /// recorder-on vs recorder-off case bounds (tools/bench_gate.py).
+  double recorder_overhead_ms = 0.0;
 };
 
 /// Executes the run and returns the merged record. Thread count is
@@ -117,5 +145,11 @@ void write_rt_trace(std::ostream& os, const RtConfig& config,
 /// Offline audit of the record with the realized bounds — the same checker
 /// tools/tracecheck applies to the written artifact.
 ViolationReport audit_rt_run(const RtConfig& config, const RtRunResult& result);
+
+/// Flight-log header for the run (sim/span_export.h): the realized bounds
+/// plus the run's tick length, so `gossiplab spans` can put wall latencies
+/// next to the realized d+delta budget.
+FlightLogHeader rt_flight_header(const RtConfig& config,
+                                 const RtRunResult& result);
 
 }  // namespace asyncgossip

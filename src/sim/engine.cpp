@@ -161,6 +161,7 @@ const std::vector<ProcessId>& Engine::effective_schedule(
 }
 
 const std::vector<Envelope>& Engine::collect_deliveries(ProcessId p) {
+  const FlightZone zone(flight_, FlightZoneId::kWheelDrain, p, now_);
   delivered_scratch_.clear();
   if (pending_count_[p] != 0) {
     // Due slots: every deadline in (last step, now]. The engine's delta
@@ -178,6 +179,7 @@ const std::vector<Envelope>& Engine::collect_deliveries(ProcessId p) {
     if (due_buckets_.size() == 1) {
       delivered_scratch_.swap(*due_buckets_[0]);
     } else if (!due_buckets_.empty()) {
+      const FlightZone merge_zone(flight_, FlightZoneId::kKwayMerge, p, now_);
       // Merge the due buckets back into global send order by message id
       // (each bucket is already id-sorted).
       merge_heads_.assign(due_buckets_.size(), 0);
@@ -204,6 +206,9 @@ const std::vector<Envelope>& Engine::collect_deliveries(ProcessId p) {
   for (const Envelope& env : delivered_scratch_) {
     metrics_.record_delivery(p, env.send_time, prev_step, now_);
     for (EngineObserver* o : observers_) o->on_delivery(env, now_);
+    if (flight_ != nullptr)
+      flight_record_deliver(flight_, env.id, env.from, p, now_,
+                            env.send_time);
     hash_mix(0xDE11ull ^ env.id);
   }
   in_flight_total_ -= delivered_scratch_.size();
@@ -228,6 +233,9 @@ void Engine::dispatch_sends(ProcessId from,
     metrics_.record_send(from, now_,
                           env.payload ? env.payload->byte_size() : 0);
     for (EngineObserver* obs : observers_) obs->on_send(env);
+    if (flight_ != nullptr)
+      flight_record_send(flight_, env.id, env.from, env.to, now_,
+                         env.deliver_after);
     hash_mix(0x5E4Dull ^ env.id ^ (static_cast<std::uint64_t>(env.to) << 32));
     if (crashed_[env.to]) continue;  // delivery to a crashed process is moot
     const ProcessId to = env.to;
@@ -256,8 +264,11 @@ void Engine::advance_one_step() {
     StepContext ctx(p, processes_.size(), local_steps_[p], delivered,
                     outbox_scratch_);
     ctx.attach_probe(probe_sink_, now_);
-    processes_[p]->step(ctx);
-    dispatch_sends(p, outbox_scratch_);
+    {
+      const FlightZone zone(flight_, FlightZoneId::kStepDispatch, p, now_);
+      processes_[p]->step(ctx);
+      dispatch_sends(p, outbox_scratch_);
+    }
     last_step_time_[p] = now_;
     stepped_once_[p] = true;
     ++local_steps_[p];

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/flight_recorder.h"
 #include "sim/adversary.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
@@ -128,6 +129,13 @@ class Engine {
   /// read-only with respect to the execution.
   void set_probe_sink(ProbeSink* sink) { probe_sink_ = sink; }
 
+  /// Attaches a flight-recorder ring (common/flight_recorder.h): causal
+  /// send/deliver spans plus hot-path profiling zones are recorded into it
+  /// (nullptr detaches — the default; disabled cost is one branch per
+  /// site). Recording never perturbs the execution: trace_hash, Metrics and
+  /// telemetry are bit-identical with the ring attached or not.
+  void set_flight_ring(FlightRing* ring) { flight_ = ring; }
+
  private:
   void advance_one_step();
   void apply_crashes(const std::vector<ProcessId>& crash_list);
@@ -182,6 +190,7 @@ class Engine {
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
   std::vector<EngineObserver*> observers_;
   ProbeSink* probe_sink_ = nullptr;
+  FlightRing* flight_ = nullptr;
 
   // Reusable per-step scratch buffers (hot path: no steady-state
   // allocation). Contents are only valid between fill and use within one

@@ -1,0 +1,82 @@
+// Exporters for flight-recorder records (common/flight_recorder.h).
+//
+// Two artifact formats:
+//   - The raw flight log ("asyncgossip flight v1"): a line-oriented text
+//     dump of the recorded send/deliver/zone records plus a model header,
+//     written by `gossiplab rt --spans` and read back by `gossiplab spans`.
+//     Like trace-format-v1 it is diff-friendly and append-ordered.
+//   - Chrome trace-event JSON ("asyncgossip-spans-v1"): loadable directly
+//     in Perfetto (ui.perfetto.dev) or chrome://tracing. Send→deliver pairs
+//     become async "b"/"e" span events keyed by message id; profiling zones
+//     become complete "X" slices on the recording actor's track. Schema
+//     details in docs/OBSERVABILITY.md.
+//
+// summarize_spans computes the per-message delivery wall-latency
+// percentiles (p50/p95/p99) `gossiplab spans` prints next to the realized
+// d+δ budget — the paper's bounds are about exactly this distribution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+
+namespace asyncgossip {
+
+/// Run context carried by the flight log header and echoed into the
+/// exported trace's otherData.
+struct FlightLogHeader {
+  std::uint64_t n = 0;
+  std::uint64_t tick_us = 0;
+  std::uint64_t realized_d = 0;
+  std::uint64_t realized_delta = 0;
+  /// Ring records lost to overwriting during the run (the log is a sample,
+  /// not a complete record, when this is nonzero).
+  std::uint64_t dropped = 0;
+};
+
+/// Writes the "asyncgossip flight v1" text log.
+void write_flight_log(std::ostream& os, const FlightLogHeader& header,
+                      const std::vector<FlightRecord>& records);
+
+/// Parses a flight log. Returns false (with a one-line description in
+/// *error when non-null) on malformed input; *header / *records are only
+/// valid on success.
+bool read_flight_log(std::istream& is, FlightLogHeader* header,
+                     std::vector<FlightRecord>* records,
+                     std::string* error = nullptr);
+
+/// Writes the "asyncgossip-spans-v1" Chrome trace-event JSON document.
+/// Timestamps are microseconds relative to the earliest record, so the
+/// trace opens at t=0 in Perfetto.
+void write_chrome_trace(std::ostream& os, const FlightLogHeader& header,
+                        const std::vector<FlightRecord>& records);
+
+/// Per-zone aggregate over a record set.
+struct ZoneTotal {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+};
+
+/// Latency and zone summary for `gossiplab spans` and the tests'
+/// spans↔Metrics cross-checks. Percentiles are nearest-rank over the
+/// paired send→deliver wall latencies.
+struct SpanSummary {
+  std::size_t sends = 0;
+  std::size_t delivers = 0;
+  /// Messages with both ends recorded (pairs are keyed by message id).
+  std::size_t paired = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  std::vector<ZoneTotal> zones;  // only zones that occurred, in id order
+};
+
+SpanSummary summarize_spans(const std::vector<FlightRecord>& records);
+
+}  // namespace asyncgossip

@@ -1,0 +1,21 @@
+// aglint-fixture-as: src/common/flight_recorder.cpp
+// aglint-expect: AG-LCK-002
+//
+// The flight recorder's lock-freedom is a lint-enforced contract, not a
+// convention: AG-LCK-002 covers the recorder files (rules.json), so a
+// std::mutex sneaking into the push path — which must stay wait-free on
+// the rt workers' hot loop — fails the gate. This fixture proves the rule
+// fires outside src/rt too.
+#include <mutex>
+
+namespace asyncgossip {
+
+std::mutex recorder_mu;  // AG-LCK-002
+unsigned long long pushed = 0;
+
+void record_locked() {
+  const std::lock_guard<std::mutex> lock(recorder_mu);  // AG-LCK-002
+  ++pushed;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,300 @@
+// Tests for the flight-log / Chrome-trace exporters (sim/span_export.h).
+// The artifact contracts: the text flight log round-trips losslessly; the
+// exported trace is byte-for-byte deterministic (golden fixture below) and
+// strict valid JSON (json_valid, the same checker CI's Python re-parse
+// backs up); and the span summary's percentiles are nearest-rank exact.
+// The end-to-end half drives a real rt run with the recorder on and
+// cross-checks the recorded spans against the run's own outcome counters.
+#include "sim/span_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "rt/driver.h"
+#include "sim/telemetry_export.h"
+
+namespace asyncgossip {
+namespace {
+
+FlightRecord make_send(std::uint64_t id, std::uint32_t from, std::uint32_t to,
+                       std::uint64_t tick, std::uint64_t wall_ns,
+                       std::uint64_t deliver_after) {
+  FlightRecord r;
+  r.kind = static_cast<std::uint64_t>(FlightKind::kSend);
+  r.a = id;
+  r.b = FlightRecord::pack_link(from, to);
+  r.tick = tick;
+  r.wall_ns = wall_ns;
+  r.extra = deliver_after;
+  return r;
+}
+
+FlightRecord make_deliver(std::uint64_t id, std::uint32_t from,
+                          std::uint32_t to, std::uint64_t tick,
+                          std::uint64_t wall_ns, std::uint64_t send_tick) {
+  FlightRecord r = make_send(id, from, to, tick, wall_ns, send_tick);
+  r.kind = static_cast<std::uint64_t>(FlightKind::kDeliver);
+  return r;
+}
+
+FlightRecord make_zone(FlightZoneId zone, std::uint64_t actor,
+                       std::uint64_t tick, std::uint64_t wall_ns,
+                       std::uint64_t dur_ns) {
+  FlightRecord r;
+  r.kind = static_cast<std::uint64_t>(FlightKind::kZone);
+  r.a = static_cast<std::uint64_t>(zone);
+  r.b = actor;
+  r.tick = tick;
+  r.wall_ns = wall_ns;
+  r.extra = dur_ns;
+  return r;
+}
+
+FlightLogHeader small_header() {
+  FlightLogHeader h;
+  h.n = 4;
+  h.tick_us = 100;
+  h.realized_d = 3;
+  h.realized_delta = 2;
+  h.dropped = 0;
+  return h;
+}
+
+std::vector<FlightRecord> small_records() {
+  return {
+      make_send(0, 1, 2, 5, 1000500, 8),
+      make_zone(FlightZoneId::kAlgoStep, 1, 5, 1001000, 2500),
+      make_deliver(0, 1, 2, 8, 1003000, 5),
+  };
+}
+
+TEST(FlightLog, RoundTripsEveryFieldThroughTheTextFormat) {
+  const FlightLogHeader header = small_header();
+  const std::vector<FlightRecord> records = small_records();
+  std::ostringstream os;
+  write_flight_log(os, header, records);
+
+  std::istringstream is(os.str());
+  FlightLogHeader parsed_header;
+  std::vector<FlightRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(read_flight_log(is, &parsed_header, &parsed, &error)) << error;
+  EXPECT_EQ(parsed_header.n, header.n);
+  EXPECT_EQ(parsed_header.tick_us, header.tick_us);
+  EXPECT_EQ(parsed_header.realized_d, header.realized_d);
+  EXPECT_EQ(parsed_header.realized_delta, header.realized_delta);
+  EXPECT_EQ(parsed_header.dropped, header.dropped);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, records[i].kind) << i;
+    EXPECT_EQ(parsed[i].a, records[i].a) << i;
+    EXPECT_EQ(parsed[i].b, records[i].b) << i;
+    EXPECT_EQ(parsed[i].tick, records[i].tick) << i;
+    EXPECT_EQ(parsed[i].wall_ns, records[i].wall_ns) << i;
+    EXPECT_EQ(parsed[i].extra, records[i].extra) << i;
+  }
+}
+
+TEST(FlightLog, RejectsMalformedInputWithADiagnostic) {
+  FlightLogHeader header;
+  std::vector<FlightRecord> records;
+  std::string error;
+
+  std::istringstream empty("");
+  EXPECT_FALSE(read_flight_log(empty, &header, &records, &error));
+  EXPECT_FALSE(error.empty());
+
+  std::istringstream bad_magic("# something else\n");
+  EXPECT_FALSE(read_flight_log(bad_magic, &header, &records, &error));
+
+  std::istringstream bad_record(
+      "# asyncgossip flight v1\n"
+      "model n=4 tick_us=100 realized_d=3 realized_delta=2 dropped=0\n"
+      "send 0 1\n");
+  EXPECT_FALSE(read_flight_log(bad_record, &header, &records, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+
+  std::istringstream bad_zone(
+      "# asyncgossip flight v1\n"
+      "model n=4 tick_us=100 realized_d=3 realized_delta=2 dropped=0\n"
+      "zone warp-drive 0 1 2 3\n");
+  EXPECT_FALSE(read_flight_log(bad_zone, &header, &records, &error));
+  EXPECT_NE(error.find("warp-drive"), std::string::npos) << error;
+}
+
+TEST(ChromeTrace, MatchesTheGoldenFixtureByteForByte) {
+  // Hand-checked golden: epoch is the earliest wall_ns (1000500), so the
+  // send opens the trace at ts 0.000; the metadata rows name the two
+  // participating actors. Any byte-level drift here is a schema change —
+  // update docs/OBSERVABILITY.md and the CI re-parse alongside.
+  const char* golden =
+      "{\n"
+      "\"displayTimeUnit\": \"ms\",\n"
+      "\"otherData\": {\"schema\": \"asyncgossip-spans-v1\", \"n\": \"4\", "
+      "\"tick_us\": \"100\", \"realized_d\": \"3\", \"realized_delta\": "
+      "\"2\", \"dropped\": \"0\"},\n"
+      "\"traceEvents\": [\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 1, "
+      "\"args\": {\"name\": \"proc-1\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 2, "
+      "\"args\": {\"name\": \"proc-2\"}},\n"
+      "{\"name\": \"msg 0\", \"cat\": \"msg\", \"ph\": \"b\", \"id\": 0, "
+      "\"pid\": 0, \"tid\": 1, \"ts\": 0.000, \"args\": {\"from\": 1, "
+      "\"to\": 2, \"send_tick\": 5, \"deliver_after_tick\": 8}},\n"
+      "{\"name\": \"algo-step\", \"cat\": \"zone\", \"ph\": \"X\", "
+      "\"pid\": 0, \"tid\": 1, \"ts\": 0.500, \"dur\": 2.500, \"args\": "
+      "{\"tick\": 5}},\n"
+      "{\"name\": \"msg 0\", \"cat\": \"msg\", \"ph\": \"e\", \"id\": 0, "
+      "\"pid\": 0, \"tid\": 2, \"ts\": 2.500, \"args\": {\"deliver_tick\": "
+      "8, \"send_tick\": 5}}\n"
+      "]\n"
+      "}\n";
+  std::ostringstream os;
+  write_chrome_trace(os, small_header(), small_records());
+  EXPECT_EQ(os.str(), golden);
+
+  std::string error;
+  EXPECT_TRUE(json_valid(os.str(), &error)) << error;
+}
+
+TEST(ChromeTrace, EmptyRecordSetIsStillValidJson) {
+  std::ostringstream os;
+  write_chrome_trace(os, small_header(), {});
+  std::string error;
+  EXPECT_TRUE(json_valid(os.str(), &error)) << error;
+}
+
+TEST(SpanSummary, PercentilesAreNearestRankExact) {
+  std::vector<FlightRecord> records;
+  // Ten messages with latencies exactly 1..10 microseconds.
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    records.push_back(make_send(i, 0, 1, 0, 1000 * 1000, 1));
+    records.push_back(make_deliver(i, 0, 1, 1, 1000 * 1000 + i * 1000, 0));
+  }
+  // An unpaired deliver (its send was overwritten in the ring): counted as
+  // a deliver but never as a pair, and never in the latency sample.
+  records.push_back(make_deliver(99, 2, 3, 1, 5000, 0));
+
+  const SpanSummary s = summarize_spans(records);
+  EXPECT_EQ(s.sends, 10u);
+  EXPECT_EQ(s.delivers, 11u);
+  EXPECT_EQ(s.paired, 10u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 5.0);   // rank ceil(0.50 * 10) = 5
+  EXPECT_DOUBLE_EQ(s.p95_us, 10.0);  // rank ceil(0.95 * 10) = 10
+  EXPECT_DOUBLE_EQ(s.p99_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 10.0);
+  EXPECT_TRUE(s.zones.empty());
+}
+
+TEST(SpanSummary, ZoneTotalsAggregateInIdOrder) {
+  std::vector<FlightRecord> records = {
+      make_zone(FlightZoneId::kAlgoStep, 0, 1, 100, 1500),
+      make_zone(FlightZoneId::kWheelDrain, 0, 1, 200, 500),
+      make_zone(FlightZoneId::kAlgoStep, 1, 2, 300, 2500),
+  };
+  const SpanSummary s = summarize_spans(records);
+  ASSERT_EQ(s.zones.size(), 2u);
+  EXPECT_EQ(s.zones[0].name, "wheel-drain");  // id order, not record order
+  EXPECT_EQ(s.zones[0].count, 1u);
+  EXPECT_DOUBLE_EQ(s.zones[0].total_ms, 0.0005);
+  EXPECT_EQ(s.zones[1].name, "algo-step");
+  EXPECT_EQ(s.zones[1].count, 2u);
+  EXPECT_DOUBLE_EQ(s.zones[1].total_ms, 0.004);
+}
+
+// --- end to end through the real-time runtime -----------------------------
+
+RtConfig flight_rt_config() {
+  RtConfig config;
+  config.spec.algorithm = GossipAlgorithm::kEars;
+  config.spec.n = 10;
+  config.spec.f = 2;
+  config.spec.d = 3;
+  config.spec.delta = 2;
+  config.spec.seed = 11;
+  config.inject = RtInject::kNone;
+  config.tick_us = 100;
+  config.flight = true;
+  return config;
+}
+
+TEST(FlightRtEndToEnd, SpansCrossCheckTheRunsOwnCounters) {
+  const RtConfig config = flight_rt_config();
+  const RtRunResult res = run_realtime(config);
+  ASSERT_TRUE(res.outcome.completed);
+  ASSERT_FALSE(res.flight.empty());
+  EXPECT_EQ(res.flight_dropped, 0u);  // default capacity dwarfs this run
+
+  std::uint64_t sends = 0, delivers = 0;
+  for (const FlightRecord& r : res.flight) {
+    if (r.kind == static_cast<std::uint64_t>(FlightKind::kSend)) ++sends;
+    if (r.kind == static_cast<std::uint64_t>(FlightKind::kDeliver))
+      ++delivers;
+  }
+  EXPECT_EQ(sends, res.outcome.messages);
+  EXPECT_EQ(delivers, res.outcome.deliveries);
+
+  const SpanSummary summary = summarize_spans(res.flight);
+  EXPECT_EQ(summary.sends, sends);
+  EXPECT_GT(summary.paired, 0u);
+  EXPECT_GE(summary.max_us, summary.p50_us);
+  EXPECT_FALSE(summary.zones.empty());
+
+  // The artifact chain gossiplab uses: header → flight log → re-read →
+  // Chrome trace, which must be strict valid JSON.
+  const FlightLogHeader header = rt_flight_header(config, res);
+  EXPECT_EQ(header.n, config.spec.n);
+  std::ostringstream log;
+  write_flight_log(log, header, res.flight);
+  std::istringstream is(log.str());
+  FlightLogHeader reread;
+  std::vector<FlightRecord> records;
+  std::string error;
+  ASSERT_TRUE(read_flight_log(is, &reread, &records, &error)) << error;
+  ASSERT_EQ(records.size(), res.flight.size());
+
+  std::ostringstream trace;
+  write_chrome_trace(trace, reread, records);
+  EXPECT_TRUE(json_valid(trace.str(), &error)) << error;
+}
+
+TEST(FlightRtEndToEnd, RecorderOffLeavesNoTraceInTheResult) {
+  RtConfig config = flight_rt_config();
+  config.flight = false;
+  const RtRunResult res = run_realtime(config);
+  ASSERT_TRUE(res.outcome.completed);
+  EXPECT_TRUE(res.flight.empty());
+  EXPECT_EQ(res.flight_pushed, 0u);
+  EXPECT_EQ(res.flight_dropped, 0u);
+  EXPECT_EQ(res.recorder_overhead_ms, 0.0);
+}
+
+TEST(FlightRtEndToEnd, LiveStatsLinesAreStrictValidNdjson) {
+  RtConfig config = flight_rt_config();
+  std::ostringstream stats;
+  config.stats_interval_ms = 2;
+  config.stats_out = &stats;
+  const RtRunResult res = run_realtime(config);
+  ASSERT_TRUE(res.outcome.completed);
+
+  std::istringstream is(stats.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    std::string error;
+    EXPECT_TRUE(json_valid(line, &error)) << error << "\n" << line;
+    EXPECT_NE(line.find("\"schema\": \"asyncgossip-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"per_process_steps\""), std::string::npos);
+  }
+  EXPECT_GE(lines, 1u);  // the final snapshot always flushes
+}
+
+}  // namespace
+}  // namespace asyncgossip

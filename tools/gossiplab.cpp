@@ -9,7 +9,10 @@
 //   report     run one gossip execution with telemetry, print the JSON report
 //   rt         run one gossip execution on the real-time threaded runtime
 //              (wall-clock ticks, optional fault injection), audit the
-//              recorded trace offline, print the JSON report
+//              recorded trace offline, print the JSON report; --spans /
+//              --stats-interval-ms turn on the flight recorder / live stats
+//   spans      convert a recorded flight log to Perfetto-loadable Chrome
+//              trace-event JSON and print delivery-latency percentiles
 //   fuzz       sample adversary configurations, shrink any failing case to a
 //              replayable repro artifact (exit 1 when a failure was found)
 //   replay     re-execute a repro artifact, verify its pinned trace hash
@@ -29,6 +32,8 @@
 //   gossiplab report --alg tears --n 128 --f 32 --out run.json --spread-csv spread.csv
 //   gossiplab rt --algorithm ears --n 32 --f 8 --inject crash --seed 7
 //   gossiplab rt --alg tears --n 24 --f 5 --record rt.trace --out rt.json
+//   gossiplab rt --alg ears --n 16 --f 4 --spans rt.flight --stats-interval-ms 50
+//   gossiplab spans --in rt.flight --out spans.json
 //   gossiplab fuzz --iters 200 --seed 7 --out repro
 //   gossiplab fuzz --iters 20 --inject late-delivery --out repro
 //   gossiplab replay --in repro.spec.json
@@ -39,6 +44,7 @@
 #include <exception>
 #include <fstream>
 #include <initializer_list>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -50,6 +56,7 @@
 #include "gossip/spec_json.h"
 #include "lowerbound/adaptive.h"
 #include "rt/driver.h"
+#include "sim/span_export.h"
 #include "sim/telemetry.h"
 #include "sim/telemetry_export.h"
 #include "sim/trace.h"
@@ -68,7 +75,10 @@ Flags parse_flags(int argc, char** argv, int first) {
       std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
       std::exit(2);
     }
-    arg = arg.substr(2);
+    // erase, not `arg = arg.substr(2)`: the self-assignment-from-temporary
+    // form trips GCC 12's -Wrestrict false positive (PR 105329) under
+    // inlining.
+    arg.erase(0, 2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       flags[arg] = argv[++i];
     } else {
@@ -567,12 +577,20 @@ int cmd_rt(const Flags& f) {
         "    --tick-us T         wall-clock microseconds per model tick (default 200)\n"
         "    --record PATH       write the trace-format-v1 event log to PATH\n"
         "    --out PATH          write the JSON report to PATH\n"
+        "    --spans PATH        enable the flight recorder and write the raw\n"
+        "                        flight log (asyncgossip flight v1) to PATH;\n"
+        "                        convert with `gossiplab spans`\n"
+        "    --stats-interval-ms T  emit live asyncgossip-stats-v1 NDJSON\n"
+        "                        snapshots every T ms (T >= 1)\n"
+        "    --stats-out PATH    stats destination (default: stderr)\n"
         "  --d/--delta are *targets* (delay-draw range / pacing aim); the\n"
         "  report carries the bounds the execution realized (defaults 4, 2)\n%s",
         kSpecFlagHelp);
     return 0;
   }
-  check_flags("rt", f, {SPEC_FLAG_LIST, "inject", "tick-us", "record", "out"});
+  check_flags("rt", f,
+              {SPEC_FLAG_LIST, "inject", "tick-us", "record", "out", "spans",
+               "stats-interval-ms", "stats-out"});
   RtConfig config;
   config.spec = spec_from_flags(f);
   // Real transports have jitter: a degenerate d = 1 target makes every
@@ -583,6 +601,34 @@ int cmd_rt(const Flags& f) {
   const std::string inject_name = get_str(f, "inject", "none");
   if (!rt_inject_from_string(inject_name, &config.inject)) {
     std::fprintf(stderr, "unknown inject kind: %s\n", inject_name.c_str());
+    return 2;
+  }
+  if (has_flag(f, "spans")) config.flight = true;
+  if (has_flag(f, "stats-interval-ms")) {
+    config.stats_interval_ms = get_u64(f, "stats-interval-ms", 0);
+    if (config.stats_interval_ms == 0) {
+      std::fprintf(stderr,
+                   "gossiplab rt: --stats-interval-ms must be >= 1 "
+                   "(0 would busy-spin the snapshot thread)\n");
+      return 2;
+    }
+  }
+  std::ofstream stats_file;
+  if (config.stats_interval_ms > 0) {
+    if (has_flag(f, "stats-out")) {
+      const std::string path = get_str(f, "stats-out", "stats.ndjson");
+      stats_file.open(path);
+      if (!stats_file) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return 2;
+      }
+      config.stats_out = &stats_file;
+    } else {
+      config.stats_out = &std::cerr;
+    }
+  } else if (has_flag(f, "stats-out")) {
+    std::fprintf(stderr,
+                 "gossiplab rt: --stats-out requires --stats-interval-ms\n");
     return 2;
   }
 
@@ -600,6 +646,20 @@ int cmd_rt(const Flags& f) {
     }
     write_rt_trace(os, config, res);
     std::fprintf(stderr, "wrote event log to %s\n", path.c_str());
+  }
+
+  if (has_flag(f, "spans")) {
+    const std::string path = get_str(f, "spans", "rt.flight");
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 2;
+    }
+    write_flight_log(os, rt_flight_header(config, res), res.flight);
+    std::fprintf(stderr,
+                 "wrote flight log to %s (%llu records, %llu dropped)\n",
+                 path.c_str(), (unsigned long long)res.flight.size(),
+                 (unsigned long long)res.flight_dropped);
   }
 
   const ViolationReport audit = audit_rt_run(config, res);
@@ -648,6 +708,11 @@ int cmd_rt(const Flags& f) {
       {"crashes", (double)out.crashes},
       {"audit_violations", (double)audit.total()},
       {"wall_ms", out.wall_ms},
+      {"recorder_enabled", config.flight ? 1.0 : 0.0},
+      {"recorder_records", (double)res.flight.size()},
+      {"recorder_pushed", (double)res.flight_pushed},
+      {"recorder_dropped", (double)res.flight_dropped},
+      {"recorder_overhead_ms", res.recorder_overhead_ms},
   };
 
   std::ostringstream doc;
@@ -682,6 +747,85 @@ int cmd_rt(const Flags& f) {
                  (int)gathering_required, (int)out.majority_ok,
                  (int)majority_required);
   return ok ? 0 : 1;
+}
+
+int cmd_spans(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab spans --in FLIGHT.log [--out TRACE.json]\n"
+        "convert a flight log recorded by `gossiplab rt --spans` into Chrome\n"
+        "trace-event JSON (asyncgossip-spans-v1; open in ui.perfetto.dev) and\n"
+        "print the per-message delivery wall-latency percentiles next to the\n"
+        "realized d+delta budget\n"
+        "    --in PATH           flight log to read (required)\n"
+        "    --out PATH          write the Chrome trace-event JSON to PATH\n");
+    return 0;
+  }
+  check_flags("spans", f, {"in", "out"});
+  if (!has_flag(f, "in")) {
+    std::fprintf(stderr, "gossiplab spans: --in FLIGHT.log is required\n");
+    return 2;
+  }
+  const std::string in_path = get_str(f, "in", "rt.flight");
+  std::ifstream is(in_path);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s for reading\n", in_path.c_str());
+    return 2;
+  }
+  FlightLogHeader header;
+  std::vector<FlightRecord> records;
+  std::string parse_err;
+  if (!read_flight_log(is, &header, &records, &parse_err)) {
+    std::fprintf(stderr, "%s: not a flight log: %s\n", in_path.c_str(),
+                 parse_err.c_str());
+    return 2;
+  }
+
+  if (has_flag(f, "out")) {
+    std::ostringstream doc;
+    write_chrome_trace(doc, header, records);
+    std::string json_err;
+    if (!json_valid(doc.str(), &json_err)) {
+      std::fprintf(stderr, "internal error: trace is not valid JSON: %s\n",
+                   json_err.c_str());
+      return 3;
+    }
+    const std::string out_path = get_str(f, "out", "spans.json");
+    std::ofstream os(out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 2;
+    }
+    os << doc.str();
+    std::fprintf(stderr,
+                 "wrote Chrome trace-event JSON to %s (load it in "
+                 "ui.perfetto.dev or chrome://tracing)\n",
+                 out_path.c_str());
+  }
+
+  const SpanSummary s = summarize_spans(records);
+  std::printf("spans: %zu sends, %zu delivers, %zu paired",
+              s.sends, s.delivers, s.paired);
+  if (header.dropped != 0)
+    std::printf(" (%llu ring records dropped — sample, not a full record)",
+                (unsigned long long)header.dropped);
+  std::printf("\n");
+  const double budget_ms =
+      (double)(header.realized_d + header.realized_delta) *
+      (double)header.tick_us / 1000.0;
+  std::printf(
+      "delivery wall latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+      "max %.3f ms\n",
+      s.p50_us / 1000.0, s.p95_us / 1000.0, s.p99_us / 1000.0,
+      s.max_us / 1000.0);
+  std::printf(
+      "realized d+delta budget: %llu ticks @ %llu us = %.3f ms\n",
+      (unsigned long long)(header.realized_d + header.realized_delta),
+      (unsigned long long)header.tick_us, budget_ms);
+  for (const ZoneTotal& z : s.zones)
+    std::printf("zone %-13s %8llu calls  %10.3f ms total\n", z.name.c_str(),
+                (unsigned long long)z.count, z.total_ms);
+  return 0;
 }
 
 int cmd_fuzz(const Flags& f) {
@@ -825,7 +969,7 @@ int cmd_statcheck(const Flags& f) {
 void usage() {
   std::fprintf(stderr,
                "usage: gossiplab <gossip|sweep|consensus|lowerbound|trace|"
-               "report|rt|fuzz|replay|statcheck> [--flag value ...]\n"
+               "report|rt|spans|fuzz|replay|statcheck> [--flag value ...]\n"
                "run `gossiplab <subcommand> --help` for flags, or see the\n"
                "tools/gossiplab.cpp header for examples\n");
 }
@@ -847,6 +991,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(flags);
     if (cmd == "report") return cmd_report(flags);
     if (cmd == "rt") return cmd_rt(flags);
+    if (cmd == "spans") return cmd_spans(flags);
     if (cmd == "fuzz") return cmd_fuzz(flags);
     if (cmd == "replay") return cmd_replay(flags);
     if (cmd == "statcheck") return cmd_statcheck(flags);

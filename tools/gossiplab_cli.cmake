@@ -4,7 +4,10 @@
 #   3. the committed repro fixture replays with a matching trace hash;
 #   4. the fault-injection fuzz pipeline finds a failure (exit 1), shrinks
 #      it, writes spec + trace artifacts, and the spec artifact replays
-#      bit-identically (exit 0) while tracecheck accepts the trace artifact.
+#      bit-identically (exit 0) while tracecheck accepts the trace artifact;
+#   5. the flight-recorder surface: rt --spans writes a flight log that
+#      `gossiplab spans` converts, and the stats-flag contract violations
+#      exit 2.
 # Driven by ctest; see tools/CMakeLists.txt.
 foreach(var GOSSIPLAB TRACECHECK WORKDIR FIXTURE)
   if(NOT DEFINED ${var})
@@ -14,7 +17,7 @@ endforeach()
 
 # 1. --help for every subcommand.
 foreach(sub gossip sweep consensus lowerbound trace report rt fuzz replay
-        statcheck)
+        statcheck spans)
   execute_process(COMMAND "${GOSSIPLAB}" ${sub} --help
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
   if(NOT rc EQUAL 0)
@@ -85,6 +88,46 @@ execute_process(COMMAND "${TRACECHECK}" "${prefix}.trace"
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "tracecheck rejected the fuzz trace artifact "
                       "(exit ${rc})")
+endif()
+
+# 5. Flight recorder: rt --spans -> spans conversion round trip, and the
+# stats-flag contract (interval 0 and --stats-out alone both exit 2).
+set(flight "${WORKDIR}/gossiplab_cli_sample.flight")
+execute_process(
+  COMMAND "${GOSSIPLAB}" rt --alg ears --n 10 --f 2 --seed 5 --tick-us 100
+          --spans "${flight}"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rt --spans exited ${rc}")
+endif()
+if(NOT EXISTS "${flight}")
+  message(FATAL_ERROR "rt --spans did not write ${flight}")
+endif()
+execute_process(
+  COMMAND "${GOSSIPLAB}" spans --in "${flight}"
+          --out "${WORKDIR}/gossiplab_cli_sample.trace.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spans conversion exited ${rc}")
+endif()
+if(NOT out MATCHES "delivery wall latency")
+  message(FATAL_ERROR "spans printed no latency summary:\n${out}")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" spans --in "${WORKDIR}/no_such.flight"
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "spans on a missing input exited ${rc}, want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" rt --n 8 --stats-interval-ms 0
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "rt --stats-interval-ms 0 exited ${rc}, want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" rt --n 8
+          --stats-out "${WORKDIR}/gossiplab_cli_stats.ndjson"
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "rt --stats-out without interval exited ${rc}, want 2")
 endif()
 
 message(STATUS "gossiplab CLI smoke test passed")
