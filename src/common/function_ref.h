@@ -1,0 +1,69 @@
+// FunctionRef: a non-owning, trivially copyable reference to a callable —
+// two words (object pointer + thunk), no allocation, no virtual dispatch
+// beyond one indirect call.
+//
+// The engine's hot-path callback seams (Engine::for_each_pending, the
+// run_until predicate, the shard pool's task body) take FunctionRef instead
+// of std::function: std::function type-erases by potentially heap-
+// allocating the target and always carries vtable-equivalent machinery,
+// which is measurable on observer-heavy runs that visit every pending
+// envelope. A FunctionRef is valid only for as long as the referenced
+// callable is alive, which every engine seam satisfies trivially (the
+// callable outlives the call it is passed to) — never store one beyond the
+// call that received it.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace asyncgossip {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable object with a compatible signature (lambda,
+  /// functor). Intentionally implicit so call sites read like the
+  /// std::function versions they replaced.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                !std::is_function_v<std::remove_reference_t<F>> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(
+              obj))(std::forward<Args>(args)...);
+        }) {}
+
+  /// Binds a plain function (run_until's completion predicates are function
+  /// pointers). Separate overload because a function pointer is not an
+  /// object pointer: static_cast to void* is ill-formed, so it round-trips
+  /// through reinterpret_cast (conditionally-supported, guaranteed on every
+  /// POSIX target this project builds for).
+  template <typename R2, typename... A2,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<R, R2 (*)(A2...), Args...>>>
+  FunctionRef(R2 (*f)(A2...))  // NOLINT(google-explicit-constructor)
+      : obj_(reinterpret_cast<void*>(f)),
+        call_([](void* obj, Args... args) -> R {
+          return (reinterpret_cast<R2 (*)(A2...)>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace asyncgossip

@@ -28,6 +28,13 @@
 // release fence before the payload stores and the acquire fence after the
 // payload loads make a torn read impossible: if the consumer observed any
 // word of a newer generation, the second sequence check cannot pass.
+//
+// ThreadSanitizer does not model std::atomic_thread_fence (GCC promotes its
+// -Wtsan diagnostic to a build error under -Werror), so TSan builds replace
+// the fence pair with per-operation orderings on the payload words
+// themselves — release stores / acquire loads give TSan (and the hardware)
+// the same happens-before edges, at a per-word cost the instrumented build
+// doesn't care about.
 #pragma once
 
 #include <array>
@@ -37,6 +44,17 @@
 #include <cstring>
 #include <memory>
 #include <type_traits>
+
+#if defined(__SANITIZE_THREAD__)
+#define AG_SPSC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AG_SPSC_TSAN 1
+#endif
+#endif
+#ifndef AG_SPSC_TSAN
+#define AG_SPSC_TSAN 0
+#endif
 
 namespace asyncgossip {
 
@@ -66,11 +84,16 @@ class SpscRing {
     const std::uint64_t pos = write_pos_++;
     Slot& slot = slots_[pos & mask_];
     slot.seq.store(2 * pos + 1, std::memory_order_relaxed);
+#if AG_SPSC_TSAN
+    constexpr auto kStoreOrder = std::memory_order_release;
+#else
     std::atomic_thread_fence(std::memory_order_release);
+    constexpr auto kStoreOrder = std::memory_order_relaxed;
+#endif
     std::uint64_t words[kWords] = {};
     std::memcpy(words, &value, sizeof(T));
     for (std::size_t i = 0; i < kWords; ++i)
-      slot.words[i].store(words[i], std::memory_order_relaxed);
+      slot.words[i].store(words[i], kStoreOrder);
     slot.seq.store(2 * pos + 2, std::memory_order_release);
     tail_.store(pos + 1, std::memory_order_release);
   }
@@ -98,9 +121,16 @@ class SpscRing {
         continue;
       }
       std::uint64_t words[kWords];
+#if AG_SPSC_TSAN
+      constexpr auto kLoadOrder = std::memory_order_acquire;
+#else
+      constexpr auto kLoadOrder = std::memory_order_relaxed;
+#endif
       for (std::size_t i = 0; i < kWords; ++i)
-        words[i] = slot.words[i].load(std::memory_order_relaxed);
+        words[i] = slot.words[i].load(kLoadOrder);
+#if !AG_SPSC_TSAN
       std::atomic_thread_fence(std::memory_order_acquire);
+#endif
       if (slot.seq.load(std::memory_order_relaxed) != want) {
         ++dropped_;
         ++read_pos_;

@@ -10,6 +10,7 @@
 // every guarded access statically checkable. See docs/ANALYSIS.md.
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -81,6 +82,27 @@ class AG_CAPABILITY("mutex") Mutex {
 
  private:
   std::mutex mu_;
+};
+
+/// Condition variable paired with Mutex — the only waiting primitive
+/// permitted in AG-LCK-002-covered code (a raw std::condition_variable_any
+/// would let callers wait on an unannotated lockable, hiding the guarded
+/// state from the analysis). wait() requires the capability: callers hold
+/// the mutex via MutexLock, and although the wait releases and reacquires
+/// it internally, the capability is held again by the time wait returns,
+/// so the annotation contract is sound at every statement boundary.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) AG_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 /// RAII lock for Mutex (the scoped_lockable shape clang's analysis

@@ -1,6 +1,8 @@
 #include "gossip/harness.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/assert.h"
 #include "gossip/epidemic.h"
@@ -13,6 +15,15 @@
 #include "gossip/trivial.h"
 
 namespace asyncgossip {
+
+std::size_t default_engine_jobs() {
+  const char* env = std::getenv("AG_ENGINE_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 1;  // unparsable: stay serial
+  return static_cast<std::size_t>(v);
+}
 
 const char* to_string(GossipAlgorithm algorithm) {
   switch (algorithm) {
@@ -182,6 +193,7 @@ Engine make_gossip_engine(const GossipSpec& spec) {
   ecfg.d = spec.d;
   ecfg.delta = spec.delta;
   ecfg.max_crashes = spec.f;
+  ecfg.jobs = spec.engine_jobs;
 
   return Engine(make_gossip_processes(spec),
                 std::make_unique<ObliviousAdversary>(adv), ecfg);

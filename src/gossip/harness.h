@@ -47,6 +47,12 @@ const char* to_string(GossipAlgorithm algorithm);
 /// repro-artifact reader (gossip/spec_json.h).
 bool algorithm_from_string(const std::string& name, GossipAlgorithm* out);
 
+/// Default for GossipSpec::engine_jobs: the AG_ENGINE_JOBS environment
+/// variable parsed as a non-negative integer (0 = hardware concurrency), or
+/// 1 (serial) when unset or unparsable. Read once per call so tests can
+/// vary the environment.
+std::size_t default_engine_jobs();
+
 struct GossipSpec {
   GossipAlgorithm algorithm = GossipAlgorithm::kEars;
   std::size_t n = 0;
@@ -72,6 +78,12 @@ struct GossipSpec {
 
   /// Step budget for the run; 0 = an automatic generous bound.
   Time max_steps = 0;
+
+  /// Worker threads for sharded intra-run stepping (EngineConfig::jobs):
+  /// 1 = serial, 0 = hardware concurrency, k = exactly k. The default
+  /// honors the AG_ENGINE_JOBS environment variable (default_engine_jobs()),
+  /// falling back to serial. Results are bit-identical for every value.
+  std::size_t engine_jobs = default_engine_jobs();
 
   /// If true, an InvariantAuditor (sim/audit.h) observes the run and
   /// independently re-checks the full (d, delta, f) model contract;

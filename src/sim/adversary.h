@@ -10,10 +10,10 @@
 //    process state to probe distributions (see src/lowerbound).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/process.h"
@@ -47,7 +47,7 @@ class EngineView {
   /// returns true to keep iterating, false to stop early. Visit order is
   /// deterministic for a fixed execution but is not send order.
   void for_each_pending(ProcessId p,
-                        const std::function<bool(const Envelope&)>& fn) const;
+                        FunctionRef<bool(const Envelope&)> fn) const;
   /// Local step count taken by p so far.
   std::uint64_t local_steps_of(ProcessId p) const;
   /// Deep copy of a process (state + RNG): the adaptive adversary's

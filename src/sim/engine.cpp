@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace asyncgossip {
 
@@ -28,8 +29,8 @@ std::vector<Envelope> EngineView::pending_for(ProcessId p) const {
 std::size_t EngineView::pending_count(ProcessId p) const {
   return engine_->pending_count(p);
 }
-void EngineView::for_each_pending(
-    ProcessId p, const std::function<bool(const Envelope&)>& fn) const {
+void EngineView::for_each_pending(ProcessId p,
+                                  FunctionRef<bool(const Envelope&)> fn) const {
   engine_->for_each_pending(p, fn);
 }
 std::uint64_t EngineView::local_steps_of(ProcessId p) const {
@@ -42,6 +43,43 @@ std::unique_ptr<Process> EngineView::fork_process(ProcessId p) const {
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
+
+namespace {
+
+/// Materializes the borrowed Envelope view of arena entry `e` (see
+/// sim/message.h on view lifetimes).
+Envelope view_of(const EnvelopeArena& arena, const PayloadPool& pool,
+                 std::size_t e) {
+  Envelope env;
+  env.id = arena.id_[e];
+  env.from = arena.from_[e];
+  env.to = arena.to_[e];
+  env.send_time = arena.send_time_[e];
+  env.deliver_after = arena.deliver_after_[e];
+  env.payload = PayloadRef::borrowed(pool.raw(arena.payload_[e]));
+  return env;
+}
+
+}  // namespace
+
+/// Captures StepContext::probe_* calls made during a slot's process step so
+/// merge_slot can replay them into the real sink in schedule order (worker
+/// threads must not touch the user's sink).
+class Engine::RecordingProbeSink final : public ProbeSink {
+ public:
+  explicit RecordingProbeSink(std::vector<ProbeRecord>* out) : out_(out) {}
+
+  void on_phase(Time /*now*/, ProcessId /*p*/, const char* phase) override {
+    out_->push_back(ProbeRecord{phase, 0, 0});
+  }
+  void on_state(Time /*now*/, ProcessId /*p*/, std::uint64_t rumors_known,
+                std::uint64_t rumors_fully_informed) override {
+    out_->push_back(ProbeRecord{nullptr, rumors_known, rumors_fully_informed});
+  }
+
+ private:
+  std::vector<ProbeRecord>* out_;
+};
 
 Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
                std::unique_ptr<Adversary> adversary, EngineConfig config)
@@ -66,20 +104,19 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
     throw ApiError("model bounds d and delta must be >= 1");
   if (config_.max_crashes >= processes_.size())
     throw ApiError("crash budget f must satisfy f < n");
+  jobs_ = config_.jobs != 0
+              ? config_.jobs
+              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   want_scratch_.resize(processes_.size(), 0);
   schedule_scratch_.reserve(processes_.size());
-  outbox_scratch_.reserve(64);
-  delivered_scratch_.reserve(64);
-  due_buckets_.reserve(wheel_width_);
-  merge_heads_.reserve(wheel_width_);
+  slots_.resize(1);
 }
 
 void Engine::run(Time steps) {
   for (Time i = 0; i < steps; ++i) advance_one_step();
 }
 
-bool Engine::run_until(const std::function<bool(const Engine&)>& done,
-                       Time max_steps) {
+bool Engine::run_until(FunctionRef<bool(const Engine&)> done, Time max_steps) {
   for (Time i = 0; i < max_steps; ++i) {
     if (done(*this)) return true;
     advance_one_step();
@@ -90,22 +127,45 @@ bool Engine::run_until(const std::function<bool(const Engine&)>& done,
 std::vector<Envelope> Engine::pending_for(ProcessId p) const {
   std::vector<Envelope> out;
   out.reserve(pending_count_[p]);
+  if (pending_count_[p] == 0) return out;
   const std::size_t base = p * wheel_width_;
+  // Same k-way chain merge as the delivery path: every bucket chain is
+  // id-sorted (ids are assigned in send order at insertion), so repeatedly
+  // taking the minimum head id yields global send order directly — no
+  // copy-everything-then-sort.
+  std::vector<EnvelopeArena::Cursor> heads;
+  heads.reserve(wheel_width_);
   for (std::size_t s = 0; s < wheel_width_; ++s)
-    out.insert(out.end(), wheel_[base + s].begin(), wheel_[base + s].end());
-  // Buckets are individually in send order; restore the global send order
-  // (== the order of the monotone message ids) across buckets.
-  std::sort(out.begin(), out.end(),
-            [](const Envelope& a, const Envelope& b) { return a.id < b.id; });
+    if (!arena_.chain_empty(wheel_[base + s]))
+      heads.push_back(arena_.cursor(wheel_[base + s]));
+  for (;;) {
+    std::size_t best = heads.size();
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (arena_.at_end(heads[i])) continue;
+      if (best == heads.size() ||
+          arena_.id_[arena_.entry(heads[i])] <
+              arena_.id_[arena_.entry(heads[best])])
+        best = i;
+    }
+    if (best == heads.size()) break;
+    const std::size_t e = arena_.entry(heads[best]);
+    Envelope env = view_of(arena_, payloads_, e);
+    // Callers (the adaptive adversary) may retain these past the next step:
+    // hand out owning references.
+    env.payload = PayloadRef(payloads_.share(arena_.payload_[e]));
+    out.push_back(std::move(env));
+    arena_.advance(heads[best]);
+  }
   return out;
 }
 
-void Engine::for_each_pending(
-    ProcessId p, const std::function<bool(const Envelope&)>& fn) const {
+void Engine::for_each_pending(ProcessId p,
+                              FunctionRef<bool(const Envelope&)> fn) const {
   const std::size_t base = p * wheel_width_;
   for (std::size_t s = 0; s < wheel_width_; ++s)
-    for (const Envelope& env : wheel_[base + s])
-      if (!fn(env)) return;
+    for (EnvelopeArena::Cursor c = arena_.cursor(wheel_[base + s]);
+         !arena_.at_end(c); arena_.advance(c))
+      if (!fn(view_of(arena_, payloads_, arena_.entry(c)))) return;
 }
 
 void Engine::hash_mix(std::uint64_t v) {
@@ -128,7 +188,12 @@ void Engine::apply_crashes(const std::vector<ProcessId>& crash_list) {
     in_flight_total_ -= pending_count_[p];
     pending_count_[p] = 0;
     const std::size_t base = p * wheel_width_;
-    for (std::size_t s = 0; s < wheel_width_; ++s) wheel_[base + s].clear();
+    for (std::size_t s = 0; s < wheel_width_; ++s) {
+      EnvelopeArena::Bucket& b = wheel_[base + s];
+      arena_.for_chain(
+          b, [&](std::size_t e) { payloads_.release(arena_.payload_[e]); });
+      arena_.recycle(b);
+    }
     hash_mix(0xC0DEull ^ p);
   }
 }
@@ -160,88 +225,134 @@ const std::vector<ProcessId>& Engine::effective_schedule(
   return schedule_scratch_;
 }
 
-const std::vector<Envelope>& Engine::collect_deliveries(ProcessId p) {
-  const FlightZone zone(flight_, FlightZoneId::kWheelDrain, p, now_);
-  delivered_scratch_.clear();
-  if (pending_count_[p] != 0) {
-    // Due slots: every deadline in (last step, now]. The engine's delta
-    // enforcement bounds this span by delta < wheel_width_, and the wheel
-    // is wide enough that these buckets hold due messages only (future
-    // deadlines land in other slots; see engine.h).
-    const Time t_lo = stepped_once_[p] ? last_step_time_[p] + 1 : 0;
-    AG_ASSERT_MSG(now_ - t_lo < wheel_width_,
-                  "scheduling gap exceeded the timing-wheel width");
-    due_buckets_.clear();
-    for (Time t = t_lo; t <= now_; ++t) {
-      std::vector<Envelope>& b = bucket(p, t);
-      if (!b.empty()) due_buckets_.push_back(&b);
-    }
-    if (due_buckets_.size() == 1) {
-      delivered_scratch_.swap(*due_buckets_[0]);
-    } else if (!due_buckets_.empty()) {
-      const FlightZone merge_zone(flight_, FlightZoneId::kKwayMerge, p, now_);
-      // Merge the due buckets back into global send order by message id
-      // (each bucket is already id-sorted).
-      merge_heads_.assign(due_buckets_.size(), 0);
-      std::size_t total = 0;
-      for (const auto* b : due_buckets_) total += b->size();
-      delivered_scratch_.reserve(total);
-      for (std::size_t taken = 0; taken < total; ++taken) {
-        std::size_t best = due_buckets_.size();
-        for (std::size_t i = 0; i < due_buckets_.size(); ++i) {
-          if (merge_heads_[i] >= due_buckets_[i]->size()) continue;
-          if (best == due_buckets_.size() ||
-              (*due_buckets_[i])[merge_heads_[i]].id <
-                  (*due_buckets_[best])[merge_heads_[best]].id)
-            best = i;
+void Engine::run_slot(ProcessId p, SlotResult& slot, FlightRing* ring) {
+  slot.delivered.clear();
+  slot.payload_handles.clear();
+  slot.drained.clear();
+  slot.outbox.clear();
+  slot.probes.clear();
+  {
+    const FlightZone zone(ring, FlightZoneId::kWheelDrain, p, now_);
+    if (pending_count_[p] != 0) {
+      // Due slots: every deadline in (last step, now]. The engine's delta
+      // enforcement bounds this span by delta < wheel_width_, and the wheel
+      // is wide enough that these buckets hold due messages only (future
+      // deadlines land in other slots; see engine.h).
+      const Time t_lo = stepped_once_[p] ? last_step_time_[p] + 1 : 0;
+      AG_ASSERT_MSG(now_ - t_lo < wheel_width_,
+                    "scheduling gap exceeded the timing-wheel width");
+      for (Time t = t_lo; t <= now_; ++t) {
+        EnvelopeArena::Bucket& b = bucket(p, t);
+        if (!arena_.chain_empty(b)) {
+          // Detach the chain; its slabs are recycled at the merge (the
+          // arena free list is engine-thread-only).
+          slot.drained.push_back(b);
+          b = EnvelopeArena::Bucket{};
         }
-        delivered_scratch_.push_back(
-            std::move((*due_buckets_[best])[merge_heads_[best]]));
-        ++merge_heads_[best];
       }
-      for (auto* b : due_buckets_) b->clear();
+      if (slot.drained.size() == 1) {
+        arena_.for_chain(slot.drained[0], [&](std::size_t e) {
+          slot.delivered.push_back(view_of(arena_, payloads_, e));
+          slot.payload_handles.push_back(arena_.payload_[e]);
+        });
+      } else if (!slot.drained.empty()) {
+        const FlightZone merge_zone(ring, FlightZoneId::kKwayMerge, p, now_);
+        // Merge the due chains back into global send order by message id
+        // (each chain is already id-sorted).
+        slot.cursors.clear();
+        for (const EnvelopeArena::Bucket& b : slot.drained)
+          slot.cursors.push_back(arena_.cursor(b));
+        for (;;) {
+          std::size_t best = slot.cursors.size();
+          for (std::size_t i = 0; i < slot.cursors.size(); ++i) {
+            if (arena_.at_end(slot.cursors[i])) continue;
+            if (best == slot.cursors.size() ||
+                arena_.id_[arena_.entry(slot.cursors[i])] <
+                    arena_.id_[arena_.entry(slot.cursors[best])])
+              best = i;
+          }
+          if (best == slot.cursors.size()) break;
+          const std::size_t e = arena_.entry(slot.cursors[best]);
+          slot.delivered.push_back(view_of(arena_, payloads_, e));
+          slot.payload_handles.push_back(arena_.payload_[e]);
+          arena_.advance(slot.cursors[best]);
+        }
+      }
     }
   }
+  StepContext ctx(p, processes_.size(), local_steps_[p], slot.delivered,
+                  slot.outbox);
+  RecordingProbeSink recorder(&slot.probes);
+  if (probe_sink_ != nullptr) ctx.attach_probe(&recorder, now_);
+  {
+    const FlightZone zone(ring, FlightZoneId::kStepDispatch, p, now_);
+    processes_[p]->step(ctx);
+  }
+}
+
+void Engine::merge_slot(ProcessId p, SlotResult& slot) {
   const Time prev_step = stepped_once_[p] ? last_step_time_[p] : kTimeMax;
-  for (const Envelope& env : delivered_scratch_) {
+  const Time gap = stepped_once_[p] ? now_ - last_step_time_[p] : now_ + 1;
+  metrics_.record_gap(gap);
+  for (EngineObserver* o : observers_) o->on_step(now_, p);
+  for (const Envelope& env : slot.delivered) {
     metrics_.record_delivery(p, env.send_time, prev_step, now_);
     for (EngineObserver* o : observers_) o->on_delivery(env, now_);
     if (flight_ != nullptr)
-      flight_record_deliver(flight_, env.id, env.from, p, now_,
-                            env.send_time);
+      flight_record_deliver(flight_, env.id, env.from, p, now_, env.send_time);
     hash_mix(0xDE11ull ^ env.id);
   }
-  in_flight_total_ -= delivered_scratch_.size();
-  pending_count_[p] -= delivered_scratch_.size();
-  return delivered_scratch_;
+  in_flight_total_ -= slot.delivered.size();
+  pending_count_[p] -= slot.delivered.size();
+  if (probe_sink_ != nullptr) {
+    for (const ProbeRecord& r : slot.probes) {
+      if (r.phase != nullptr)
+        probe_sink_->on_phase(now_, p, r.phase);
+      else
+        probe_sink_->on_state(now_, p, r.a, r.b);
+    }
+  }
+  dispatch_sends(p, slot.outbox);
+  slot.outbox.clear();
+  // Delivered payload references and slabs are dead past this point: the
+  // process step consumed the views and every observer has run.
+  for (const std::uint32_t h : slot.payload_handles) payloads_.release(h);
+  for (EnvelopeArena::Bucket& b : slot.drained) arena_.recycle(b);
+  last_step_time_[p] = now_;
+  stepped_once_[p] = true;
+  ++local_steps_[p];
+  metrics_.record_local_step();
+  hash_mix(0x57E4ull ^ p ^ (now_ << 16));
 }
 
 void Engine::dispatch_sends(ProcessId from,
                             std::vector<StepContext::Outgoing>& out) {
   const EngineView view(*this);
-  for (auto& o : out) {
+  for (StepContext::Outgoing& o : out) {
     AG_ASSERT_MSG(o.to < processes_.size(), "send target out of range");
     Envelope env;
     env.id = next_message_id_++;
     env.from = from;
     env.to = o.to;
     env.send_time = now_;
-    env.payload = std::move(o.payload);
+    env.payload = PayloadRef::borrowed(o.payload.get());
     Time delay = adversary_->message_delay(env, view);
     delay = std::clamp<Time>(delay, 1, config_.d);
     env.deliver_after = now_ + delay;
     metrics_.record_send(from, now_,
-                          env.payload ? env.payload->byte_size() : 0);
+                         env.payload ? env.payload->byte_size() : 0);
     for (EngineObserver* obs : observers_) obs->on_send(env);
     if (flight_ != nullptr)
       flight_record_send(flight_, env.id, env.from, env.to, now_,
                          env.deliver_after);
     hash_mix(0x5E4Dull ^ env.id ^ (static_cast<std::uint64_t>(env.to) << 32));
     if (crashed_[env.to]) continue;  // delivery to a crashed process is moot
-    const ProcessId to = env.to;
-    // Injection in send order keeps every wheel bucket sorted by message id.
-    bucket(to, env.deliver_after).push_back(std::move(env));
-    ++pending_count_[to];
+    // Interning after the crash check keeps doomed payloads out of the pool;
+    // intern + append in send order keeps every chain sorted by message id.
+    const std::uint32_t handle = payloads_.intern(std::move(o.payload));
+    arena_.append(bucket(env.to, env.deliver_after), env.id, env.from, env.to,
+                  env.send_time, env.deliver_after, handle);
+    ++pending_count_[env.to];
     ++in_flight_total_;
   }
 }
@@ -254,26 +365,27 @@ void Engine::advance_one_step() {
   const std::vector<ProcessId>& schedule =
       effective_schedule(decision.schedule);
 
-  for (ProcessId p : schedule) {
-    const Time gap =
-        stepped_once_[p] ? now_ - last_step_time_[p] : now_ + 1;
-    metrics_.record_gap(gap);
-    for (EngineObserver* o : observers_) o->on_step(now_, p);
-    const std::vector<Envelope>& delivered = collect_deliveries(p);
-    outbox_scratch_.clear();
-    StepContext ctx(p, processes_.size(), local_steps_[p], delivered,
-                    outbox_scratch_);
-    ctx.attach_probe(probe_sink_, now_);
-    {
-      const FlightZone zone(flight_, FlightZoneId::kStepDispatch, p, now_);
-      processes_[p]->step(ctx);
-      dispatch_sends(p, outbox_scratch_);
+  // Serial and sharded stepping share the same two phases per slot; the
+  // serial path simply interleaves them, which reproduces the historical
+  // event order exactly — and because merge_slot replays every side effect
+  // in schedule order either way, both paths emit the same event stream
+  // bit for bit (see the sharding notes in engine.h).
+  if (jobs_ <= 1 || schedule.size() < 2) {
+    for (ProcessId p : schedule) {
+      run_slot(p, slots_[0], flight_);
+      merge_slot(p, slots_[0]);
     }
-    last_step_time_[p] = now_;
-    stepped_once_[p] = true;
-    ++local_steps_[p];
-    metrics_.record_local_step();
-    hash_mix(0x57E4ull ^ p ^ (now_ << 16));
+  } else {
+    if (slots_.size() < schedule.size()) slots_.resize(schedule.size());
+    if (pool_ == nullptr) pool_ = std::make_unique<ShardPool>(jobs_ - 1);
+    pool_->run(schedule.size(), [&](std::size_t i) {
+      // Worker phase: frozen pre-step snapshot, per-slot buffers, no
+      // flight ring (it is single-producer; spans are emitted at the
+      // merge, only the profiling zones are engine-thread-only).
+      run_slot(schedule[i], slots_[i], nullptr);
+    });
+    for (std::size_t i = 0; i < schedule.size(); ++i)
+      merge_slot(schedule[i], slots_[i]);
   }
 
   metrics_.record_in_flight(in_flight_total_);

@@ -5,9 +5,22 @@
 // the envelope, so "sending" is O(1) regardless of payload size. This
 // mirrors the paper's accounting, which counts point-to-point *messages*
 // rather than bits.
+//
+// Since the data-oriented engine core, `Envelope` is a *view* type: the
+// engine stores in-flight messages as struct-of-arrays slabs plus an
+// interned payload pool (sim/envelope_arena.h) and materializes Envelope
+// values only at its observation seams (StepContext::received, observer
+// callbacks, pending_for). PayloadRef below is what makes both worlds
+// compile against the same field: it converts implicitly from PayloadPtr
+// (owning — tests, the rt driver and the lower-bound prober build their own
+// envelopes and must keep the payload alive), while the engine hands out
+// borrowed views whose payloads the pool pins for the duration of the step.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "sim/types.h"
 
@@ -27,6 +40,51 @@ struct Payload {
 
 using PayloadPtr = std::shared_ptr<const Payload>;
 
+/// A payload reference that is either owning (constructed from a
+/// PayloadPtr) or borrowed (engine-internal views into the interned payload
+/// pool, whose lifetime the engine guarantees for the duration of the
+/// observation). The accessor surface mirrors shared_ptr's, so code written
+/// against the historical `PayloadPtr payload` field compiles unchanged.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  PayloadRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  /// Owning: shares lifetime with `owned` (the historical behaviour).
+  /// Templated on the source pointer so `shared_ptr<DerivedPayload>` still
+  /// converts in one step, exactly as assigning it to a PayloadPtr did.
+  template <typename T, typename = std::enable_if_t<
+                            std::is_convertible_v<T&&, PayloadPtr>>>
+  PayloadRef(T&& owned)  // NOLINT(google-explicit-constructor)
+      : owner_(std::forward<T>(owned)) {
+    ptr_ = owner_.get();
+  }
+
+  /// Borrowed view; caller guarantees *p outlives every access. Only the
+  /// engine's materialization seams use this.
+  static PayloadRef borrowed(const Payload* p) {
+    PayloadRef r;
+    r.ptr_ = p;
+    return r;
+  }
+
+  const Payload* get() const { return ptr_; }
+  const Payload* operator->() const { return ptr_; }
+  const Payload& operator*() const { return *ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  /// True when this reference keeps the payload alive by itself.
+  bool owning() const { return ptr_ == nullptr || owner_ != nullptr; }
+
+  /// The owning shared_ptr, or null for a borrowed view (callers that need
+  /// to retain past the borrow must go through an owning seam such as
+  /// pending_for, which always returns owning references).
+  const PayloadPtr& owner() const { return owner_; }
+
+ private:
+  const Payload* ptr_ = nullptr;
+  PayloadPtr owner_;
+};
+
 /// A point-to-point message in flight or being delivered.
 struct Envelope {
   MessageId id = 0;
@@ -37,7 +95,7 @@ struct Envelope {
   /// guarantees delivery at the receiver's first local step at or after
   /// max(deliver_after, send_time + 1), and no later than send_time + d.
   Time deliver_after = 0;
-  PayloadPtr payload;
+  PayloadRef payload;
 };
 
 /// Convenience downcast for algorithm code. Returns nullptr on mismatch so

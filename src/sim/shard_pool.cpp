@@ -1,0 +1,122 @@
+#include "sim/shard_pool.h"
+
+#include <algorithm>
+
+namespace asyncgossip {
+
+ShardPool::ShardPool(std::size_t workers) {
+  threads_.reserve(std::max<std::size_t>(workers, 1));
+  for (std::size_t w = 0; w < std::max<std::size_t>(workers, 1); ++w)
+    threads_.emplace_back([this] { worker_main(); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::run(std::size_t count, FunctionRef<void(std::size_t)> task) {
+  if (count == 0) return;
+  {
+    MutexLock lock(&mu_);
+    task_ = &task;
+    count_ = count;
+    error_ = nullptr;
+    error_index_ = count;
+    next_.store(0);
+    done_.store(0);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  drain(task, count);
+
+  std::exception_ptr error;
+  {
+    MutexLock lock(&mu_);
+    // Wait until every task ran AND every worker left the batch: a worker
+    // that observed this generation holds a pointer to `task` (a stack
+    // object of this frame) until it exits drain(), even if all indices
+    // were already claimed by others.
+    while (done_.load() < count_ || active_ != 0) done_cv_.wait(mu_);
+    task_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+std::size_t ShardPool::drain(const FunctionRef<void(std::size_t)>& task,
+                             std::size_t count) {
+  // Chunked claiming: large batches amortize the atomic to ~8 claims per
+  // thread; tiny batches degrade to one index per claim.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / ((threads_.size() + 1) * 8));
+  std::size_t finished = 0;
+  for (;;) {
+    const std::size_t begin = next_.fetch_add(chunk);
+    if (begin >= count) break;
+    const std::size_t end = std::min(begin + chunk, count);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        record_error(i);
+      }
+    }
+    finished += end - begin;
+  }
+  if (finished != 0 && done_.fetch_add(finished) + finished >= count) {
+    // Completion edge: re-take the mutex so the notification cannot slip
+    // between a waiter's predicate check and its wait.
+    { MutexLock lock(&mu_); }
+    done_cv_.notify_all();
+  }
+  return finished;
+}
+
+void ShardPool::record_error(std::size_t index) {
+  MutexLock lock(&mu_);
+  if (error_ == nullptr || index < error_index_) {
+    error_ = std::current_exception();
+    error_index_ = index;
+  }
+}
+
+void ShardPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const FunctionRef<void(std::size_t)>* task;
+    std::size_t count;
+    {
+      MutexLock lock(&mu_);
+      while (!shutdown_ && generation_ == seen) work_cv_.wait(mu_);
+      if (shutdown_) return;
+      seen = generation_;
+      if (task_ == nullptr) continue;  // batch fully drained and retired
+                                       // before this worker woke: its task
+                                       // (and next_/done_) are dead state —
+                                       // touching them would corrupt the
+                                       // *next* batch's index claiming.
+      task = task_;
+      count = count_;
+      ++active_;
+    }
+    // Entering the batch happened under mu_ with task_ still published, so
+    // run() — whose completion predicate requires active_ == 0 — cannot
+    // recycle `task` while we dereference it here, even if every index was
+    // already claimed by other threads.
+    drain(*task, count);
+    {
+      MutexLock lock(&mu_);
+      --active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace asyncgossip

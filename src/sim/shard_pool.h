@@ -1,0 +1,85 @@
+// ShardPool: the engine's persistent worker pool for sharded intra-run
+// stepping.
+//
+// One simulated step at large n has thousands of due process-steps that
+// are independent given the frozen pre-step snapshot (sim/engine.cpp
+// documents the argument), so the engine partitions the step's schedule
+// across these workers. The pool is persistent because it is invoked once
+// per simulated step: spawning threads per step (what SweepRunner does per
+// *run*, which is fine at its granularity) would dominate small steps and
+// melt under TSan's per-thread bookkeeping in the jobs-invariance tests.
+//
+// Determinism contract: run(count, task) promises only that task(i) is
+// invoked exactly once for every i < count, on some thread, before run
+// returns. Which thread runs which index is scheduling-dependent — callers
+// needing deterministic output (the engine does) must write results into
+// per-index buffers and sequence any side effects themselves afterwards.
+//
+// Locking: batch hand-off and completion use the annotated Mutex/CondVar
+// (common/thread_annotations.h) under clang -Werror=thread-safety; index
+// claiming and completion counting are atomics so the per-chunk cost stays
+// off the mutex. Exceptions thrown by tasks are captured and the
+// lowest-index one is rethrown from run() after the batch drains, so
+// failures are reproducible regardless of interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/function_ref.h"
+#include "common/thread_annotations.h"
+
+namespace asyncgossip {
+
+class ShardPool {
+ public:
+  /// Spawns `workers` persistent worker threads (>= 1; the calling thread
+  /// participates in every batch on top of these).
+  explicit ShardPool(std::size_t workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Runs task(i) for every i in [0, count) across the workers plus the
+  /// calling thread; returns once all invocations completed and every
+  /// worker has left the batch. Rethrows the lowest-index task exception,
+  /// if any (the remaining tasks still run).
+  void run(std::size_t count, FunctionRef<void(std::size_t)> task);
+
+ private:
+  void worker_main();
+  /// Claims index chunks and runs them; returns the number of tasks this
+  /// thread completed.
+  std::size_t drain(const FunctionRef<void(std::size_t)>& task,
+                    std::size_t count);
+  void record_error(std::size_t index);
+
+  Mutex mu_;
+  CondVar work_cv_;  // workers: a new generation was published, or shutdown
+  CondVar done_cv_;  // run(): tasks finished / workers left the batch
+
+  // Batch state, published under mu_ per generation.
+  std::uint64_t generation_ AG_GUARDED_BY(mu_) = 0;
+  std::size_t count_ AG_GUARDED_BY(mu_) = 0;
+  const FunctionRef<void(std::size_t)>* task_ AG_GUARDED_BY(mu_) = nullptr;
+  /// Workers currently inside the batch: run() must not return while any
+  /// worker still holds the (stack-lifetime) task reference.
+  std::size_t active_ AG_GUARDED_BY(mu_) = 0;
+  bool shutdown_ AG_GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ AG_GUARDED_BY(mu_);
+  std::size_t error_index_ AG_GUARDED_BY(mu_) = 0;
+
+  // Off-mutex fast path: next index to claim, completed task count.
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> done_{0};
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace asyncgossip

@@ -1,0 +1,31 @@
+// aglint-fixture-as: src/sim/shard_pool.cpp
+// aglint-expect: AG-LCK-002
+//
+// The engine's shard pool is the only threaded code in src/sim, so it is
+// held to the same lock discipline as src/rt: raw std::mutex /
+// std::condition_variable_any carry no capability annotations, which makes
+// every guarded field invisible to clang's -Wthread-safety. The pool must
+// use asyncgossip::Mutex / MutexLock / CondVar (common/thread_annotations.h).
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace asyncgossip {
+
+class BadShardPool {
+ public:
+  void publish(std::size_t count) {
+    const std::lock_guard<std::mutex> lock(mu_);  // AG-LCK-002
+    count_ = count;
+    ++generation_;
+    wake_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;                      // AG-LCK-002
+  std::condition_variable_any wake_;   // AG-LCK-002
+  std::size_t count_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace asyncgossip

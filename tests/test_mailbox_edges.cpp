@@ -206,6 +206,53 @@ TEST(MailboxEdges, SeveralAlgorithmsAndSeeds) {
   }
 }
 
+TEST(MailboxEdges, CrossCheckHoldsWithShardedStepping) {
+  // Same brute-force equivalence, but stepping through the worker-pool path
+  // (engine_jobs > 1): the merge phase must reproduce the exact per-process
+  // delivery order of the naive mailbox, crashes included.
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+    GossipSpec spec = base_spec(7, 5);
+    spec.n = 24;
+    spec.f = 8;
+    spec.schedule = SchedulePattern::kStraggler;
+    spec.delay = DelayPattern::kBimodal;
+    spec.seed = 98765;
+    spec.engine_jobs = jobs;
+    EXPECT_TRUE(run_and_cross_check(spec, default_step_budget(spec)))
+        << "engine_jobs=" << jobs;
+  }
+}
+
+TEST(MailboxEdges, PendingViewsAgreeWithEachOtherMidRun) {
+  // Stop mid-run with messages in flight and check the two pending-message
+  // views against each other and the count: pending_for must return send
+  // order (ascending ids — it k-way merges the slab chains), and
+  // for_each_pending must visit the same id multiset, bucket by bucket.
+  GossipSpec spec = base_spec(5, 3);
+  spec.n = 20;
+  spec.f = 0;
+  Engine engine = make_gossip_engine(spec);
+  engine.run(40);
+  ASSERT_GT(engine.in_flight_count(), 0u) << "nothing in flight; lower steps";
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    const std::vector<Envelope> ordered = engine.pending_for(p);
+    EXPECT_EQ(ordered.size(), engine.pending_count(p)) << "process " << p;
+    std::vector<MessageId> ids;
+    for (const Envelope& env : ordered) {
+      ids.push_back(env.id);
+      EXPECT_TRUE(env.payload.owning()) << "pending_for must own payloads";
+    }
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end())) << "process " << p;
+    std::vector<MessageId> visited;
+    engine.for_each_pending(p, [&](const Envelope& env) {
+      visited.push_back(env.id);
+      return true;
+    });
+    std::sort(visited.begin(), visited.end());
+    EXPECT_EQ(visited, ids) << "process " << p;
+  }
+}
+
 TEST(MailboxEdges, TruncatedRunLeavesMessagesInFlight) {
   // Cut the run off almost immediately: sends from the last executed steps
   // are still in the wheel when the engine stops. The cross-check must hold

@@ -15,7 +15,8 @@ docs/ANALYSIS.md for the full catalogue and rationale):
                 AG-LAY-002  src/gossip includes sim/engine.h (the
                             StepContext seam rule)
   locking       AG-LCK-001  raw .lock()/.unlock() calls (RAII required)
-                AG-LCK-002  raw std::mutex family in src/rt (annotated
+                AG-LCK-002  raw std::mutex family in threaded code — src/rt
+                            and the engine's shard pool (annotated
                             asyncgossip::Mutex required)
   suppression   AG-SUP-001  aglint:allow without a justification, with an
                             unknown rule id, or malformed
@@ -86,7 +87,8 @@ RULES = {
     },
     "AG-LCK-002": {
         "family": "locking",
-        "summary": "raw std::mutex family in src/rt (use asyncgossip::Mutex)",
+        "summary": "raw std::mutex family in threaded code "
+                   "(use asyncgossip::Mutex)",
     },
     "AG-SUP-001": {
         "family": "suppression",
@@ -423,8 +425,9 @@ def analyze_file(relpath, text, config):
             m = LCK2_PATTERN.search(cline)
             if m and not is_preproc:
                 add("AG-LCK-002", lineno,
-                    f"{m.group(0)} in src/rt: the runtime must use the "
-                    "annotated asyncgossip::Mutex / MutexLock "
+                    f"{m.group(0)} in threaded code: src/rt and the "
+                    "engine's shard pool must use the annotated "
+                    "asyncgossip::Mutex / MutexLock / CondVar "
                     "(common/thread_annotations.h) so clang -Wthread-safety "
                     "can check every guarded access")
 

@@ -115,7 +115,7 @@ void check_flags(const char* cmd, const Flags& flags,
 #define SPEC_FLAG_LIST                                                      \
   "alg", "algorithm", "n", "f", "d", "delta", "seed", "schedule", "delay",  \
       "crash-horizon", "epsilon", "shutdown-c", "tears-a", "tears-kappa",   \
-      "lazy-fanout", "max-steps", "audit"
+      "lazy-fanout", "max-steps", "engine-jobs", "audit"
 
 constexpr const char* kSpecFlagHelp =
     "  model/algorithm flags (shared by gossip runs):\n"
@@ -133,6 +133,9 @@ constexpr const char* kSpecFlagHelp =
     "    --tears-a C --tears-kappa C   TEARS constants (default 1.0)\n"
     "    --lazy-fanout K     lazy-gossip fanout (default 2)\n"
     "    --max-steps T       step budget, 0 = automatic\n"
+    "    --engine-jobs J     engine worker threads per run: 1 = serial,\n"
+    "                        0 = hardware concurrency (default: AG_ENGINE_JOBS\n"
+    "                        or 1; results are identical for every J)\n"
     "    --audit             attach the invariant auditor; violations abort\n";
 
 std::uint64_t get_u64(const Flags& f, const std::string& key,
@@ -218,6 +221,7 @@ GossipSpec spec_from_flags(const Flags& f) {
   spec.tears_kappa_constant = get_double(f, "tears-kappa", 1.0);
   spec.lazy_fanout = get_u64(f, "lazy-fanout", 2);
   spec.max_steps = get_u64(f, "max-steps", 0);
+  spec.engine_jobs = get_u64(f, "engine-jobs", spec.engine_jobs);
   spec.audit = has_flag(f, "audit");
   return spec;
 }
