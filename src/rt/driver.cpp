@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <thread>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "common/thread_annotations.h"
 #include "gossip/rumor.h"
 #include "rt/clock.h"
+#include "rt/merge.h"
 #include "rt/transport.h"
 #include "sim/fuzz.h"
 #include "sim/probe.h"
@@ -37,15 +39,6 @@ std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 33;
   return x;
 }
-
-/// Everything one process thread writes; owned exclusively by that thread
-/// until join(), then read by the merge — no locking needed.
-struct ThreadLog {
-  std::vector<Event> events;
-  std::vector<RtProbeRecord> probes;
-  std::uint64_t bytes = 0;
-  std::size_t dropped = 0;
-};
 
 /// Shared run status the completion monitor polls. One mutex for all of it:
 /// the hot path takes it a handful of times per step, and steps are paced
@@ -85,7 +78,7 @@ class RecordBudget {
 
 class ThreadProbeSink final : public ProbeSink {
  public:
-  ThreadProbeSink(ThreadLog* log, RecordBudget* budget)
+  ThreadProbeSink(RtProcessLog* log, RecordBudget* budget)
       : log_(log), budget_(budget) {}
 
   void on_phase(Time now, ProcessId p, const char* phase) override {
@@ -105,16 +98,33 @@ class ThreadProbeSink final : public ProbeSink {
       ++log_->dropped;
   }
 
-  ThreadLog* log_;
+  RtProcessLog* log_;
   RecordBudget* budget_;
 };
 
-bool event_order(const Event& a, const Event& b) {
-  if (a.time != b.time) return a.time < b.time;
-  return a.process < b.process;
+}  // namespace
+
+const char* to_string(RtTransportKind kind) {
+  switch (kind) {
+    case RtTransportKind::kInProcess:
+      return "inproc";
+    case RtTransportKind::kUdp:
+      return "udp";
+  }
+  return "?";
 }
 
-}  // namespace
+bool rt_transport_from_string(const std::string& name, RtTransportKind* out) {
+  if (name == "inproc") {
+    *out = RtTransportKind::kInProcess;
+    return true;
+  }
+  if (name == "udp") {
+    *out = RtTransportKind::kUdp;
+    return true;
+  }
+  return false;
+}
 
 RtRunResult run_realtime(const RtConfig& config) {
   const GossipSpec& spec = config.spec;
@@ -128,12 +138,21 @@ RtRunResult run_realtime(const RtConfig& config) {
       spec.max_steps != 0 ? spec.max_steps : default_step_budget(spec);
 
   auto processes = make_gossip_processes(spec);
-  InProcessTransport transport(n);
+  std::unique_ptr<Transport> transport_owner;
+  if (config.transport == RtTransportKind::kUdp) {
+    UdpTransportConfig tc;
+    tc.n = n;
+    tc.faults = config.wire_faults;
+    transport_owner = std::make_unique<UdpTransport>(std::move(tc));
+  } else {
+    transport_owner = std::make_unique<InProcessTransport>(n);
+  }
+  Transport& transport = *transport_owner;
   const FaultInjector faults(
       make_fault_plan(config.inject, n, spec.f, spec.crash_horizon, spec.seed),
       d_target, delta_target);
 
-  std::vector<ThreadLog> logs(n);
+  std::vector<RtProcessLog> logs(n);
   RecordBudget record_budget(config.max_events);
   SharedState state(n);
   std::atomic<bool> done{false};
@@ -146,7 +165,7 @@ RtRunResult run_realtime(const RtConfig& config) {
     Xoshiro256SS rng(mix64(spec.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1))));
     auto* gp = dynamic_cast<GossipProcess*>(processes[p].get());
     AG_ASSERT_MSG(gp != nullptr, "rt runtime requires GossipProcess instances");
-    ThreadLog& log = logs[p];
+    RtProcessLog& log = logs[p];
     ThreadProbeSink sink(&log, &record_budget);
     FlightRing* const ring = config.flight ? recorder.ring(p) : nullptr;
     const auto push_event = [&](Event e) {
@@ -245,6 +264,9 @@ RtRunResult run_realtime(const RtConfig& config) {
           flight_record_send(ring, id, p, to, now,
                              stamped == kTimeMax ? now + delay : stamped);
       }
+      // Ship this step's staged outbound batches (one frame per
+      // destination). A no-op on InProcessTransport.
+      transport.flush(p, now);
 
       ++local_step;
       last_tick = now;
@@ -338,6 +360,15 @@ RtRunResult run_realtime(const RtConfig& config) {
   bool completed = false;
   while (true) {
     std::this_thread::sleep_for(std::chrono::microseconds(config.tick_us));
+    // Socket-transport upkeep from the monitor thread: retransmit unacked
+    // frames (including on behalf of crashed workers, whose threads have
+    // returned) and pump closed inboxes so in-flight envelopes settle.
+    transport.service(clock.now_tick());
+    const std::size_t reaped = transport.reap_discarded();
+    if (reaped != 0) {
+      const MutexLock lock(&state.mu);
+      state.undelivered -= reaped;
+    }
     {
       const MutexLock lock(&state.mu);
       bool quiet = state.undelivered == 0;
@@ -376,90 +407,10 @@ RtRunResult run_realtime(const RtConfig& config) {
     result.flight_dropped = recorder.dropped_total();
     result.recorder_overhead_ms = drain_watch.elapsed_ms();
   }
-  for (ThreadLog& log : logs) {
-    result.events.insert(result.events.end(), log.events.begin(),
-                         log.events.end());
-    result.probes.insert(result.probes.end(), log.probes.begin(),
-                         log.probes.end());
-    result.outcome.bytes += log.bytes;
-    result.events_dropped += log.dropped;
-  }
-  // Each per-thread log is already time-ordered; a stable sort by (time,
-  // process) therefore preserves every thread's internal event order (step
-  // before deliveries before sends before crash within one tick).
-  std::stable_sort(result.events.begin(), result.events.end(), event_order);
-  std::stable_sort(result.probes.begin(), result.probes.end(),
-                   [](const RtProbeRecord& a, const RtProbeRecord& b) {
-                     if (a.time != b.time) return a.time < b.time;
-                     return a.process < b.process;
-                   });
-
-  // Renumber message ids to be strictly monotone in merged send order (the
-  // auditor's id contract). A delivery always follows its send in time
-  // order, so one forward pass suffices. Raw ids are dense — they come
-  // from one atomic counter — so a flat vector indexed by raw id replaces
-  // the former unordered_map: deterministic by construction (aglint
-  // AG-DET-003) and a straight array lookup on the merge path.
-  std::vector<MessageId> renumber(next_id.load(std::memory_order_relaxed),
-                                  kNoMessageId);
-  MessageId next_merged_id = 0;
-  for (Event& e : result.events) {
-    if (e.kind == EventKind::kSend) {
-      if (e.message < renumber.size()) renumber[e.message] = next_merged_id;
-      e.message = next_merged_id++;
-    } else if (e.kind == EventKind::kDelivery) {
-      if (e.message < renumber.size() && renumber[e.message] != kNoMessageId)
-        e.message = renumber[e.message];
-    }
-  }
-
-  // --- realized bounds and outcome counters ------------------------------
+  // Merge, renumbering, realized bounds and outcome counters: shared with
+  // the multi-process driver (rt/merge.h).
+  merge_rt_logs(n, std::move(logs), crashed_final, &result);
   RtOutcome& oc = result.outcome;
-  std::vector<Time> first_step(n, 0);
-  std::vector<Time> last_step(n, 0);
-  std::vector<std::uint8_t> stepped_once(n, 0);
-  Time realized_d = 1;
-  Time max_gap = 1;
-  for (const Event& e : result.events) {
-    switch (e.kind) {
-      case EventKind::kStep:
-        if (stepped_once[e.process] == 0) {
-          first_step[e.process] = e.time;
-          stepped_once[e.process] = 1;
-        } else {
-          max_gap = std::max(max_gap, e.time - last_step[e.process]);
-        }
-        last_step[e.process] = e.time;
-        ++oc.steps;
-        break;
-      case EventKind::kSend:
-        ++oc.messages;
-        oc.completion_time = e.time + 1;
-        realized_d = std::max(realized_d, e.deliver_after - e.time);
-        break;
-      case EventKind::kDelivery:
-        ++oc.deliveries;
-        break;
-      case EventKind::kCrash:
-        ++oc.crashes;
-        break;
-    }
-  }
-  oc.end_time = result.events.empty() ? 0 : result.events.back().time + 1;
-  oc.realized_d = realized_d;
-  Time realized_delta = max_gap;
-  for (ProcessId p = 0; p < n; ++p) {
-    if (stepped_once[p] != 0)
-      realized_delta = std::max(realized_delta, first_step[p] + 1);
-    if (crashed_final[p] != 0) continue;
-    realized_delta = std::max(realized_delta, stepped_once[p] != 0
-                                                  ? oc.end_time - last_step[p]
-                                                  : oc.end_time + 1);
-  }
-  oc.realized_delta = realized_delta;
-  oc.crashes = 0;
-  for (ProcessId p = 0; p < n; ++p) oc.crashes += crashed_final[p] != 0;
-  oc.alive = n - oc.crashes;
 
   // --- gossip property checks (from the locked post-join snapshot) -------
   DynamicBitset correct(n);

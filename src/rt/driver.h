@@ -27,11 +27,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/flight_recorder.h"
 #include "gossip/harness.h"
 #include "rt/fault.h"
+#include "rt/udp_transport.h"
 #include "sim/audit.h"
 #include "sim/span_export.h"
 #include "sim/trace.h"
@@ -41,6 +43,16 @@ namespace asyncgossip {
 class TelemetryCollector;
 struct TelemetryConfig;
 
+/// Which Transport implementation the threaded driver runs over.
+/// kInProcess is the mutex-guarded inbox; kUdp hosts all n endpoints of a
+/// UdpTransport in-process (loopback sockets), which is how the fault shim
+/// and the conformance suite exercise real datagrams deterministically.
+/// The separate-OS-process deployment is rt/multiproc.h.
+enum class RtTransportKind : std::uint8_t { kInProcess, kUdp };
+
+const char* to_string(RtTransportKind kind);
+bool rt_transport_from_string(const std::string& name, RtTransportKind* out);
+
 struct RtConfig {
   /// Algorithm, n, f, seed and knobs. d and delta are the *target* bounds
   /// (delay-draw range and pacing aim), not promises; the run reports what
@@ -49,6 +61,12 @@ struct RtConfig {
   /// Wall-clock length of one model tick.
   std::uint64_t tick_us = 200;
   RtInject inject = RtInject::kNone;
+  /// Transport backend (see RtTransportKind above).
+  RtTransportKind transport = RtTransportKind::kInProcess;
+  /// Seeded loss/duplication/reordering at the socket boundary; only
+  /// meaningful with the kUdp backend. The realized bounds absorb every
+  /// retransmit delay, so faulted runs still audit clean.
+  UdpWireFaults wire_faults;
   /// Cap on recorded events across all threads; overflow is counted in
   /// RtRunResult::events_dropped (and leaves the trace unauditable).
   std::size_t max_events = 1 << 20;

@@ -54,6 +54,23 @@ class Transport {
   /// Closes p's inbox (crash): pending messages are discarded and later
   /// submits are dropped. Returns the number discarded.
   virtual std::size_t close_inbox(ProcessId p) = 0;
+
+  /// End-of-step hook for transports that batch: pushes everything `from`
+  /// staged this step onto the wire. No-op for unbatched transports.
+  virtual void flush(ProcessId from, Time now) { (void)from, (void)now; }
+
+  /// Network upkeep independent of any live process: retransmits, acks,
+  /// and pumping the inboxes of crashed processes (whose owner threads are
+  /// gone but whose in-flight traffic must still settle — the model
+  /// delivers every message that entered the network). The driver's
+  /// completion monitor calls this each poll. No-op by default.
+  virtual void service(Time now) { (void)now; }
+
+  /// Envelopes newly discarded at *closed* inboxes since the last call
+  /// (asynchronous arrivals that submit() could not report as kTimeMax).
+  /// The caller settles its in-flight accounting with them. Always 0 for
+  /// transports whose submit() reports closure synchronously.
+  virtual std::size_t reap_discarded() { return 0; }
 };
 
 /// In-process implementation: one inbox per process, each with its own

@@ -1,0 +1,251 @@
+// UdpTransport: the Transport contract over real UDP sockets on loopback.
+//
+// One socket per hosted ("local") endpoint. The threaded driver hosts all
+// n endpoints in one object (rt/driver.h with RtTransportKind::kUdp); each
+// worker of the multi-process driver hosts exactly one and reaches the
+// rest through a peer port table filled in by the coordinator handshake
+// (rt/multiproc.h). Either way the datagrams, batching, loss handling and
+// framing are identical — which is what lets one conformance suite and one
+// fault-injection shim cover both deployments.
+//
+// How the Transport guarantees survive an unreliable wire:
+//
+//   * Batching: submits are staged per (sender, destination, tick) and
+//     flushed as one asyncgossip-wire-v1 data frame per destination at the
+//     end of the step (Transport::flush), split only past the datagram
+//     ceiling. Each frame carries a per-link monotone sequence number.
+//   * Loss: bounded retransmit with exponential backoff, timed in model
+//     ticks (no wall clock — AG-DET-002), until the receiver's cumulative
+//     ack covers the frame. Duplicates are dropped by seq at the receiver,
+//     which re-acks them. A frame that exhausts its retransmit budget is
+//     counted (stats().expired) and simply stops being retried: the run
+//     then fails honestly as incomplete rather than fake a delivery.
+//   * Reordering: frames are released in per-link seq order; a gap holds
+//     later frames back, so per-link FIFO (by message id) holds end to end.
+//   * Stamps: the sender floors deliver_after per link (monotone stamps,
+//     same rule as InProcessTransport), and the *receiver* re-floors on
+//     release — against its own drained ticks (no-late-stamp) and link
+//     floor. Both only ever delay a message; the realized d reported by
+//     the drivers absorbs every bump, so merged traces still audit clean.
+//
+// Accounting: submit() cannot see a remote closed inbox synchronously, so
+// it never returns kTimeMax; every envelope is instead accounted exactly
+// once at its receiver — released into pending, or discarded on arrival at
+// a closed inbox (surfaced through reap_discarded()).
+//
+// The seeded fault shim (UdpWireFaults) drops/duplicates/reorders outbound
+// data and ack datagrams *before* the socket write: real loss handling
+// exercised deterministically per seed, without privileged packet filters.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "rt/transport.h"
+#include "rt/wire.h"
+
+namespace asyncgossip {
+
+/// Seeded outbound-datagram faults, applied at the socket boundary.
+struct UdpWireFaults {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  /// Hold the datagram back and emit it after the *next* outbound one on
+  /// the same socket (pairwise reordering).
+  double reorder_probability = 0.0;
+  std::uint64_t seed = 1;
+
+  bool any() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0;
+  }
+};
+
+struct UdpTransportConfig {
+  std::size_t n = 0;
+  /// Endpoints hosted by this object (a socket is bound for each).
+  /// Empty = all n (the single-process deployments).
+  std::vector<ProcessId> local;
+  /// Ticks before the first retransmit of an unacked frame; doubles per
+  /// retry (capped at 6 doublings).
+  Time retransmit_after = 8;
+  /// Retries per frame before giving up (counted in stats().expired).
+  int max_retransmits = 12;
+  UdpWireFaults faults;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  explicit UdpTransport(UdpTransportConfig config);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  Time submit(Envelope env) override;
+  std::size_t drain(ProcessId p, Time now, std::vector<Envelope>* out) override;
+  std::size_t close_inbox(ProcessId p) override;
+  void flush(ProcessId from, Time now) override;
+  void service(Time now) override;
+  std::size_t reap_discarded() override;
+
+  bool is_local(ProcessId p) const;
+  /// Bound loopback port of a hosted endpoint.
+  std::uint16_t local_port(ProcessId p) const;
+  /// Installs a remote endpoint's data port. Frames staged before the port
+  /// is known are held and go out with the retransmit pass after it is.
+  void set_peer(ProcessId p, std::uint16_t port);
+
+  // --- control channel (multi-process driver) ----------------------------
+  // Non-data/ack frames arriving on a hosted endpoint's socket are queued
+  // verbatim instead of being dropped; the worker/coordinator loops decode
+  // them with the wire:: helpers. Control traffic bypasses the fault shim:
+  // it has its own retry loops at the protocol level.
+
+  struct ControlMsg {
+    wire::FrameType type = wire::FrameType::kHello;
+    std::vector<std::uint8_t> bytes;
+    std::uint16_t src_port = 0;
+  };
+
+  /// Sends one already-encoded frame from p's socket to 127.0.0.1:port.
+  void send_control(ProcessId p, std::uint16_t port,
+                    const std::vector<std::uint8_t>& frame);
+  /// Moves p's queued control frames into *out (appended); pumps the
+  /// socket first.
+  std::size_t take_control(ProcessId p, std::vector<ControlMsg>* out);
+
+  // --- observability -----------------------------------------------------
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t held_out_of_order = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t shim_dropped = 0;
+    std::uint64_t shim_duplicated = 0;
+    std::uint64_t shim_reordered = 0;
+  };
+  Stats stats() const;
+
+  /// Submitted envelopes whose fate is still open — neither released into
+  /// a pending inbox nor discarded at a closed one. Only meaningful when
+  /// every endpoint is hosted locally; the tests' settle predicate.
+  std::size_t unsettled() const {
+    const std::uint64_t submitted =
+        submitted_.load(std::memory_order_acquire);
+    const std::uint64_t settled = settled_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(submitted - settled);
+  }
+
+ private:
+  struct TxFrame {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> bytes;
+    Time next_retx = 0;
+    int retx = 0;
+    bool expired = false;
+  };
+
+  /// Outbound state for one (this endpoint -> destination) link.
+  struct LinkTx {
+    std::uint64_t next_seq = 1;
+    Time stamp_floor = 0;
+    std::vector<TxFrame> unacked;  // seq ascending
+    std::vector<Envelope> batch;   // staged, same tick
+    Time batch_tick = 0;
+    std::size_t batch_bytes = 0;
+  };
+
+  struct RxFrame {
+    std::uint64_t seq = 0;
+    std::vector<Envelope> envelopes;
+  };
+
+  /// Inbound reassembly for one (sender -> this endpoint) link.
+  struct LinkRx {
+    std::uint64_t next_seq = 1;
+    std::vector<RxFrame> held;  // out-of-order, seq ascending
+  };
+
+  struct Endpoint {
+    Endpoint(ProcessId pid_in, std::size_t n, std::uint64_t fault_seed)
+        : pid(pid_in),
+          release_floor(n, 0),
+          tx(n),
+          rx(n),
+          fault_rng(fault_seed) {}
+
+    const ProcessId pid;
+    int fd = -1;
+    std::uint16_t port = 0;
+
+    Mutex mu;
+    std::vector<Envelope> pending AG_GUARDED_BY(mu);
+    std::vector<Time> release_floor AG_GUARDED_BY(mu);
+    Time last_drain_tick AG_GUARDED_BY(mu) = 0;
+    bool drained_once AG_GUARDED_BY(mu) = false;
+    bool closed AG_GUARDED_BY(mu) = false;
+    std::vector<LinkTx> tx AG_GUARDED_BY(mu);
+    std::vector<LinkRx> rx AG_GUARDED_BY(mu);
+    std::vector<ControlMsg> control AG_GUARDED_BY(mu);
+    Xoshiro256SS fault_rng AG_GUARDED_BY(mu);
+    /// Shim-held datagrams awaiting the next outbound send.
+    std::vector<std::pair<sockaddr_in, std::vector<std::uint8_t>>> reordered
+        AG_GUARDED_BY(mu);
+  };
+
+  Endpoint* endpoint(ProcessId p) const;
+  sockaddr_in peer_addr(ProcessId p) const;
+
+  void send_datagram(Endpoint& ep, const sockaddr_in& to,
+                     const std::vector<std::uint8_t>& bytes, bool shimmable)
+      AG_REQUIRES(ep.mu);
+  void pump(Endpoint& ep, Time now) AG_REQUIRES(ep.mu);
+  void handle_data(Endpoint& ep, wire::DataFrame frame, const sockaddr_in& src)
+      AG_REQUIRES(ep.mu);
+  void handle_ack(Endpoint& ep, const wire::AckFrame& ack) AG_REQUIRES(ep.mu);
+  void release_frame(Endpoint& ep, RxFrame frame) AG_REQUIRES(ep.mu);
+  void flush_link(Endpoint& ep, ProcessId to, Time now) AG_REQUIRES(ep.mu);
+  void flush_all(Endpoint& ep, Time now) AG_REQUIRES(ep.mu);
+  void retransmit(Endpoint& ep, Time now) AG_REQUIRES(ep.mu);
+
+  const UdpTransportConfig config_;
+  /// index by pid; nullptr for endpoints hosted elsewhere.
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  mutable Mutex peers_mu_;
+  std::vector<std::uint16_t> peer_port_ AG_GUARDED_BY(peers_mu_);
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> settled_{0};
+  std::atomic<std::uint64_t> discard_reap_{0};
+
+  /// Monotone counters, relaxed: stats() is a monitoring snapshot, not a
+  /// synchronization point.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> acks_sent{0};
+    std::atomic<std::uint64_t> duplicates_dropped{0};
+    std::atomic<std::uint64_t> held_out_of_order{0};
+    std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> shim_dropped{0};
+    std::atomic<std::uint64_t> shim_duplicated{0};
+    std::atomic<std::uint64_t> shim_reordered{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace asyncgossip

@@ -17,7 +17,6 @@
 #include <vector>
 
 #include "rt/fault.h"
-#include "rt/transport.h"
 #include "sim/fuzz.h"
 #include "sim/telemetry.h"
 #include "sim/trace.h"
@@ -219,61 +218,9 @@ TEST(RtDriver, TelemetryReplayAgreesWithOutcome) {
   EXPECT_GT(telemetry.informed_fraction(), 0.99);
 }
 
-// --- transport unit tests (deterministic, no threads) ---------------------
-
-Envelope make_env(MessageId id, ProcessId from, ProcessId to, Time send_time,
-                  Time deliver_after) {
-  Envelope env;
-  env.id = id;
-  env.from = from;
-  env.to = to;
-  env.send_time = send_time;
-  env.deliver_after = deliver_after;
-  return env;
-}
-
-TEST(RtTransport, DeliversAtOrAfterStamp) {
-  InProcessTransport transport(4);
-  EXPECT_EQ(transport.submit(make_env(0, 1, 2, 0, 3)), 3u);
-  std::vector<Envelope> out;
-  EXPECT_EQ(transport.drain(2, 2, &out), 0u);
-  EXPECT_EQ(transport.drain(2, 3, &out), 1u);
-  ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].id, 0u);
-}
-
-TEST(RtTransport, NeverStampsAtOrBeforeADrainedTick) {
-  InProcessTransport transport(4);
-  std::vector<Envelope> out;
-  transport.drain(2, 5, &out);  // receiver already consumed tick 5
-  // A stamp at tick 3 would be retroactively deliverable: pushed to 6.
-  EXPECT_EQ(transport.submit(make_env(0, 1, 2, 2, 3)), 6u);
-}
-
-TEST(RtTransport, PerLinkStampsAreFifo) {
-  InProcessTransport transport(4);
-  EXPECT_EQ(transport.submit(make_env(0, 1, 2, 0, 10)), 10u);
-  // A later send on the same link drew a shorter delay: floored to 10.
-  EXPECT_EQ(transport.submit(make_env(1, 1, 2, 1, 7)), 10u);
-  // An independent link is not affected.
-  EXPECT_EQ(transport.submit(make_env(2, 3, 2, 1, 7)), 7u);
-  std::vector<Envelope> out;
-  EXPECT_EQ(transport.drain(2, 10, &out), 3u);
-  ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0].id, 0u);  // drained batch is id-sorted
-  EXPECT_EQ(out[1].id, 1u);
-  EXPECT_EQ(out[2].id, 2u);
-}
-
-TEST(RtTransport, ClosedInboxDiscardsAndDrops) {
-  InProcessTransport transport(4);
-  transport.submit(make_env(0, 1, 2, 0, 3));
-  transport.submit(make_env(1, 1, 2, 0, 4));
-  EXPECT_EQ(transport.close_inbox(2), 2u);
-  EXPECT_EQ(transport.submit(make_env(2, 1, 2, 1, 5)), kTimeMax);
-  std::vector<Envelope> out;
-  EXPECT_EQ(transport.drain(2, 100, &out), 0u);
-}
+// The transport unit tests that used to live here moved to
+// tests/test_transport_conformance.cpp, which runs them — plus the rest of
+// the Transport contract — against both backends.
 
 // --- fault plan unit tests ------------------------------------------------
 

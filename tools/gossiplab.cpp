@@ -56,6 +56,7 @@
 #include "gossip/spec_json.h"
 #include "lowerbound/adaptive.h"
 #include "rt/driver.h"
+#include "rt/multiproc.h"
 #include "sim/span_export.h"
 #include "sim/telemetry.h"
 #include "sim/telemetry_export.h"
@@ -579,6 +580,13 @@ int cmd_rt(const Flags& f) {
         "JSON report\n"
         "    --inject KIND       faults: none|crash|stall|drop|all (default none)\n"
         "    --tick-us T         wall-clock microseconds per model tick (default 200)\n"
+        "    --transport KIND    inproc (threads, default) | udp (one OS process\n"
+        "                        per gossip process over loopback datagrams) |\n"
+        "                        udp-threads (threads over the UDP transport)\n"
+        "    --wire-drop P --wire-dup P --wire-reorder P\n"
+        "                        seeded datagram faults at the socket boundary\n"
+        "                        (UDP transports only; probabilities in [0,1])\n"
+        "    --wire-seed S       fault-shim seed (default: --seed)\n"
         "    --record PATH       write the trace-format-v1 event log to PATH\n"
         "    --out PATH          write the JSON report to PATH\n"
         "    --spans PATH        enable the flight recorder and write the raw\n"
@@ -594,7 +602,9 @@ int cmd_rt(const Flags& f) {
   }
   check_flags("rt", f,
               {SPEC_FLAG_LIST, "inject", "tick-us", "record", "out", "spans",
-               "stats-interval-ms", "stats-out"});
+               "stats-interval-ms", "stats-out", "transport", "wire-drop",
+               "wire-dup", "wire-reorder", "wire-seed", "worker", "coord-port",
+               "trace-out"});
   RtConfig config;
   config.spec = spec_from_flags(f);
   // Real transports have jitter: a degenerate d = 1 target makes every
@@ -605,6 +615,52 @@ int cmd_rt(const Flags& f) {
   const std::string inject_name = get_str(f, "inject", "none");
   if (!rt_inject_from_string(inject_name, &config.inject)) {
     std::fprintf(stderr, "unknown inject kind: %s\n", inject_name.c_str());
+    return 2;
+  }
+  const std::string transport_name = get_str(f, "transport", "inproc");
+  bool multiproc = false;
+  if (transport_name == "udp") {
+    // One OS process per gossip process (rt/multiproc.h).
+    multiproc = true;
+    config.transport = RtTransportKind::kUdp;
+  } else if (transport_name == "udp-threads") {
+    config.transport = RtTransportKind::kUdp;
+  } else if (!rt_transport_from_string(transport_name, &config.transport)) {
+    std::fprintf(stderr, "unknown transport: %s\n", transport_name.c_str());
+    return 2;
+  }
+  config.wire_faults.drop_probability = get_double(f, "wire-drop", 0.0);
+  config.wire_faults.duplicate_probability = get_double(f, "wire-dup", 0.0);
+  config.wire_faults.reorder_probability = get_double(f, "wire-reorder", 0.0);
+  config.wire_faults.seed = get_u64(f, "wire-seed", config.spec.seed);
+
+  // Worker mode: this invocation IS one gossip process of a multi-process
+  // run (re-exec'd by the coordinator — UDP by definition, so the
+  // wire-fault validation below does not apply); run it and exit.
+  if (has_flag(f, "worker")) {
+    const auto worker_id = static_cast<ProcessId>(get_u64(f, "worker", 0));
+    const auto coord_port =
+        static_cast<std::uint16_t>(get_u64(f, "coord-port", 0));
+    return run_rt_udp_worker(config, worker_id, coord_port,
+                             get_str(f, "trace-out", ""));
+  }
+  if (config.wire_faults.any() &&
+      config.transport == RtTransportKind::kInProcess) {
+    std::fprintf(stderr,
+                 "gossiplab rt: --wire-* faults need --transport udp or "
+                 "udp-threads\n");
+    return 2;
+  }
+  if (has_flag(f, "coord-port") || has_flag(f, "trace-out")) {
+    std::fprintf(stderr,
+                 "gossiplab rt: --coord-port/--trace-out are worker-mode "
+                 "flags (set by the coordinator)\n");
+    return 2;
+  }
+  if (multiproc && (has_flag(f, "spans") || has_flag(f, "stats-interval-ms"))) {
+    std::fprintf(stderr,
+                 "gossiplab rt: --spans/--stats-interval-ms are not supported "
+                 "with --transport udp (multi-process)\n");
     return 2;
   }
   if (has_flag(f, "spans")) config.flight = true;
@@ -636,7 +692,31 @@ int cmd_rt(const Flags& f) {
     return 2;
   }
 
-  const RtRunResult res = run_realtime(config);
+  RtRunResult res;
+  MultiprocResult mp;  // owns phase_pool backing res.probes when multiproc
+  if (multiproc) {
+    MultiprocConfig mc;
+    mc.rt = config;
+    // Rebuild the argv tail reproducing this run's spec for the worker
+    // re-execs; boolean flags round-trip as "--key 1". Driver-local and
+    // output flags stay with the coordinator.
+    mc.worker_args.push_back("rt");
+    for (const auto& [key, value] : f) {
+      if (key == "record" || key == "out" || key == "spans" ||
+          key == "stats-interval-ms" || key == "stats-out" ||
+          key == "transport" || key == "worker" || key == "coord-port" ||
+          key == "trace-out" || key == "help")
+        continue;
+      mc.worker_args.push_back("--" + key);
+      mc.worker_args.push_back(value);
+    }
+    mp = run_realtime_udp(mc);
+    for (const std::string& err : mp.errors)
+      std::fprintf(stderr, "rt multiproc: %s\n", err.c_str());
+    res = std::move(mp.run);
+  } else {
+    res = run_realtime(config);
+  }
   if (res.events_dropped != 0)
     std::fprintf(stderr, "warning: %zu records dropped (trace is a prefix)\n",
                  res.events_dropped);
@@ -687,7 +767,8 @@ int cmd_rt(const Flags& f) {
 
   TelemetryExportInfo info;
   info.run = {{"tool", "gossiplab rt"},
-              {"runtime", "realtime-threads"},
+              {"runtime", multiproc ? "realtime-multiproc" : "realtime-threads"},
+              {"transport", transport_name.c_str()},
               {"algorithm", to_string(config.spec.algorithm)},
               {"inject", to_string(config.inject)}};
   info.summary = {

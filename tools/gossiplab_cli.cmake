@@ -7,7 +7,11 @@
 #      bit-identically (exit 0) while tracecheck accepts the trace artifact;
 #   5. the flight-recorder surface: rt --spans writes a flight log that
 #      `gossiplab spans` converts, and the stats-flag contract violations
-#      exit 2.
+#      exit 2;
+#   6. the UDP multi-process driver: rt --transport udp re-execs one OS
+#      process per gossip process, the merged trace lints clean with
+#      tracecheck, the JSON report names the multiproc runtime, and the
+#      transport-flag contract violations exit 2.
 # Driven by ctest; see tools/CMakeLists.txt.
 foreach(var GOSSIPLAB TRACECHECK WORKDIR FIXTURE)
   if(NOT DEFINED ${var})
@@ -128,6 +132,45 @@ execute_process(COMMAND "${GOSSIPLAB}" rt --n 8
   RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
 if(NOT rc EQUAL 2)
   message(FATAL_ERROR "rt --stats-out without interval exited ${rc}, want 2")
+endif()
+
+# 6. UDP multi-process driver: a small real run over loopback sockets.
+set(mp_trace "${WORKDIR}/gossiplab_cli_udp.trace")
+set(mp_json "${WORKDIR}/gossiplab_cli_udp.json")
+execute_process(
+  COMMAND "${GOSSIPLAB}" rt --transport udp --algorithm tears --n 6 --f 1
+          --seed 13 --tick-us 200 --record "${mp_trace}" --out "${mp_json}"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rt --transport udp exited ${rc}:\n${err}")
+endif()
+execute_process(COMMAND "${TRACECHECK}" "${mp_trace}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tracecheck rejected the merged multiproc trace "
+                      "(exit ${rc})")
+endif()
+file(READ "${mp_json}" mp_report)
+if(NOT mp_report MATCHES "\"runtime\": \"realtime-multiproc\"")
+  message(FATAL_ERROR "udp rt report does not name the multiproc runtime:\n"
+                      "${mp_report}")
+endif()
+if(NOT mp_report MATCHES "\"audit_violations\": 0")
+  message(FATAL_ERROR "udp rt report shows audit violations:\n${mp_report}")
+endif()
+# Transport-flag contracts: wire faults need a UDP transport, and the
+# flight recorder / live stats are threaded-driver-only.
+execute_process(COMMAND "${GOSSIPLAB}" rt --n 6 --wire-drop 0.1
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "rt --wire-drop without udp exited ${rc}, want 2")
+endif()
+execute_process(
+  COMMAND "${GOSSIPLAB}" rt --transport udp --n 6
+          --spans "${WORKDIR}/gossiplab_cli_udp.flight"
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "rt --transport udp --spans exited ${rc}, want 2")
 endif()
 
 message(STATUS "gossiplab CLI smoke test passed")
