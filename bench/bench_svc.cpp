@@ -1,0 +1,103 @@
+// Serving-path benchmark: Table 2 consensus as the commit path of the
+// replicated KV service (src/svc, docs/SERVING.md).
+//
+//   cases    : throughput (unpaced open loop — how fast the group-commit
+//              pipeline drains), latency (paced open loop well under
+//              capacity — the commit path's own latency, not queueing),
+//              faulted (unpaced with in-budget replica crashes)
+//   counters : acked_per_sec, p50/p95/p99_us commit latency, complete rate,
+//              slots, cons_msgs / cons_ticks (deterministic sim-engine
+//              consensus cost per run — these do not move with machine load)
+//
+// CI gates (tools/bench_gate.py vs BENCH_svc_seed.json): acked_per_sec on
+// the throughput case (higher-better) and p95_us on the latency case
+// (lower-better), both at the standard 40% shared-runner tolerance.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "consensus/cr_gossip.h"
+#include "svc/loadgen.h"
+#include "svc/service.h"
+
+namespace asyncgossip::bench {
+
+AG_BENCH_SUITE("svc");
+
+namespace {
+
+constexpr std::uint64_t kSeedBase = 70001;
+
+void run_case(benchmark::State& state, const char* label_stem, double rate,
+              std::uint64_t requests, std::size_t crashes) {
+  register_consensus_algorithms();
+  double acked_per_sec = 0, p50 = 0, p95 = 0, p99 = 0, complete = 0,
+         slots = 0, cons_msgs = 0, cons_ticks = 0;
+  int runs = 0;
+  std::uint64_t seed = kSeedBase;
+  for (auto _ : state) {
+    svc::KvServiceConfig cfg;
+    cfg.group.n = 8;
+    cfg.group.f = 3;
+    cfg.group.seed = seed++;
+    cfg.group.inject_crashes = crashes;
+    svc::KvService service(cfg);
+    svc::LoadgenConfig lc;
+    lc.rate = rate;
+    lc.requests = requests;
+    lc.seed = cfg.group.seed;
+    lc.inproc = &service;
+    const svc::LoadgenReport rep = svc::run_loadgen(lc);
+    service.stop();
+    const svc::KvServiceStats stats = service.stats();
+    if (!rep.complete) {
+      state.SkipWithError("loadgen run incomplete (crash plan beyond f?)");
+      return;
+    }
+    ++runs;
+    complete += rep.complete ? 1 : 0;
+    acked_per_sec += rep.achieved_rate;
+    p50 += static_cast<double>(rep.p50_us);
+    p95 += static_cast<double>(rep.p95_us);
+    p99 += static_cast<double>(rep.p99_us);
+    slots += static_cast<double>(stats.slots);
+    cons_msgs += static_cast<double>(stats.consensus_messages);
+    cons_ticks += static_cast<double>(stats.consensus_ticks);
+    benchmark::DoNotOptimize(rep.acked);
+  }
+  const double r = runs;
+  state.counters["acked_per_sec"] = acked_per_sec / r;
+  state.counters["p50_us"] = p50 / r;
+  state.counters["p95_us"] = p95 / r;
+  state.counters["p99_us"] = p99 / r;
+  state.counters["complete"] = complete / r;
+  state.counters["slots"] = slots / r;
+  state.counters["cons_msgs"] = cons_msgs / r;
+  state.counters["cons_ticks"] = cons_ticks / r;
+  record_case(state, std::string("svc/") + label_stem +
+                         "/n:8/f:3/seed:" + std::to_string(kSeedBase));
+}
+
+void BM_SvcThroughput(benchmark::State& state) {
+  run_case(state, "throughput", /*rate=*/0.0, /*requests=*/20000,
+           /*crashes=*/0);
+}
+
+// 2000 req/s is well under the unpaced capacity (>= 25k/s on every machine
+// this has run on), so the percentiles measure the batch commit path, not
+// queue wait.
+void BM_SvcLatency(benchmark::State& state) {
+  run_case(state, "latency/rate:2000", /*rate=*/2000.0, /*requests=*/4000,
+           /*crashes=*/0);
+}
+
+void BM_SvcFaulted(benchmark::State& state) {
+  run_case(state, "faulted/crashes:2", /*rate=*/0.0, /*requests=*/20000,
+           /*crashes=*/2);
+}
+
+BENCHMARK(BM_SvcThroughput)->Iterations(3);
+BENCHMARK(BM_SvcLatency)->Iterations(2);
+BENCHMARK(BM_SvcFaulted)->Iterations(2);
+
+}  // namespace
+}  // namespace asyncgossip::bench

@@ -4,9 +4,10 @@
 //   rows     : CR (all-to-all get-core), CR-ears, CR-sears, CR-tears
 //   args     : {n, d, delta}; f = n/2 - 1 (the regime the paper assumes)
 //   counters : msgs_dec (messages until the last correct process decides),
-//              msgs_total (until quiescence), steps_dec, phases,
-//              agree_ok / valid_ok rates, reannounce (liveness fallback
-//              firings — should be ~0)
+//              msgs_total (until quiescence), bytes_total, steps_dec,
+//              steps_quiet, phases, agree_ok / valid_ok rates, core_viol
+//              (get-core commonality failures — must be 0), reannounce
+//              (liveness fallback firings — should be ~0)
 //
 // Expected shapes (paper):
 //   CR       : msgs ~ n^2,            steps ~ (d + delta)
@@ -45,10 +46,11 @@ void run_case(benchmark::State& state, ExchangeKind kind, double epsilon) {
   spec.delay = d == 1 ? DelayPattern::kUnitDelay : DelayPattern::kUniform;
   spec.inputs = InputPattern::kHalfHalf;
 
-  double msgs_dec = 0, msgs_total = 0, steps_dec = 0, phases = 0,
-         reannounce = 0;
+  double msgs_dec = 0, msgs_total = 0, bytes_total = 0, steps_dec = 0,
+         steps_quiet = 0, phases = 0, core_viol = 0, reannounce = 0;
   int agree = 0, valid = 0, runs = 0;
-  std::uint64_t seed = 40009;
+  constexpr std::uint64_t kSeedBase = 40009;
+  std::uint64_t seed = kSeedBase;
   for (auto _ : state) {
     spec.seed = seed++;
     spec.config.seed = spec.seed;
@@ -60,8 +62,11 @@ void run_case(benchmark::State& state, ExchangeKind kind, double epsilon) {
     ++runs;
     msgs_dec += static_cast<double>(out.messages_at_decision);
     msgs_total += static_cast<double>(out.total_messages);
+    bytes_total += static_cast<double>(out.total_bytes);
     steps_dec += static_cast<double>(out.decision_time);
+    steps_quiet += static_cast<double>(out.quiet_time);
     phases += static_cast<double>(out.decision_phase);
+    core_viol += static_cast<double>(out.core_violations);
     reannounce += static_cast<double>(out.reannouncements);
     agree += out.agreement ? 1 : 0;
     valid += out.validity ? 1 : 0;
@@ -70,16 +75,22 @@ void run_case(benchmark::State& state, ExchangeKind kind, double epsilon) {
   const double r = runs;
   state.counters["msgs_dec"] = msgs_dec / r;
   state.counters["msgs_total"] = msgs_total / r;
+  state.counters["bytes_total"] = bytes_total / r;
   state.counters["steps_dec"] = steps_dec / r;
+  state.counters["steps_quiet"] = steps_quiet / r;
   state.counters["steps_per_dd"] = steps_dec / r / static_cast<double>(d + delta);
   state.counters["phases"] = phases / r;
   state.counters["agree_ok"] = agree / r;
   state.counters["valid_ok"] = valid / r;
+  state.counters["core_viol"] = core_viol / r;
   state.counters["reannounce"] = reannounce / r;
   record_case(state, std::string("cr-") + to_string(kind) + "/n:" +
-                         std::to_string(n) + "/d:" + std::to_string(d) +
-                         "/delta:" + std::to_string(delta) +
-                         "/eps:" + std::to_string(epsilon));
+                         std::to_string(n) + "/f:" +
+                         std::to_string(spec.config.f) + "/d:" +
+                         std::to_string(d) + "/delta:" +
+                         std::to_string(delta) +
+                         "/eps:" + std::to_string(epsilon) +
+                         "/seed:" + std::to_string(kSeedBase));
 }
 
 void BM_CR(benchmark::State& state) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "consensus/cr_gossip.h"
 
 namespace asyncgossip {
 
@@ -331,6 +332,17 @@ void ConsensusProcess::step(StepContext& ctx) {
 
 std::unique_ptr<Process> ConsensusProcess::clone() const {
   return std::make_unique<ConsensusProcess>(*this);
+}
+
+std::string ConsensusProcess::final_note() const {
+  ConsensusNote note;
+  note.decided = decided_;
+  note.value = decision_;
+  note.input = input_;
+  note.phase = decided_phase_;
+  note.core_violations = core_violations_;
+  note.reannouncements = reannouncements_;
+  return format_consensus_note(note);
 }
 
 // ---------------------------------------------------------------------------

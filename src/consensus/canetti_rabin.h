@@ -27,11 +27,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "consensus/core_types.h"
 #include "consensus/get_core.h"
+#include "gossip/rumor.h"
 #include "gossip/tears.h"
 #include "sim/engine.h"
 #include "sim/oblivious.h"
@@ -60,13 +62,27 @@ struct ConsensusConfig {
   bool log_getcore_returns = false;
 };
 
-class ConsensusProcess final : public Process {
+class ConsensusProcess final : public GossipProcess {
  public:
   ConsensusProcess(ProcessId id, Val input, ConsensusConfig config);
 
   void step(StepContext& ctx) override;
   std::unique_ptr<Process> clone() const override;
   void reseed(std::uint64_t seed) override { rng_ = Xoshiro256SS(seed); }
+
+  // GossipProcess surface — this is what lets the rt drivers (threaded and
+  // multi-process) run consensus through the same seam as plain gossip.
+  // The "rumor set" is the current sub-instance's incorporated origins;
+  // quiescence is retirement (a retired process only ever answers undecided
+  // senders once, so with no further receipts it sends nothing).
+  const DynamicBitset& rumors() const override { return inst_.origins; }
+  bool quiescent() const override {
+    return mode_ == Mode::kRetired && steps_taken_ > 0;
+  }
+  std::uint64_t local_steps() const override { return steps_taken_; }
+  /// "cr decided=.. value=.. input=.. phase=.. viol=.. reann=.." — parsed
+  /// by parse_consensus_note (consensus/cr_gossip.h).
+  std::string final_note() const override;
 
   bool decided() const { return decided_; }
   Val decision() const { return decision_; }

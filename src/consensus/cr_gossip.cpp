@@ -1,0 +1,171 @@
+#include "consensus/cr_gossip.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "consensus/canetti_rabin.h"
+
+namespace asyncgossip {
+
+ExchangeKind exchange_for_algorithm(GossipAlgorithm algorithm) {
+  switch (algorithm) {
+    case GossipAlgorithm::kCrEars:
+      return ExchangeKind::kEars;
+    case GossipAlgorithm::kCrSears:
+      return ExchangeKind::kSears;
+    case GossipAlgorithm::kCrTears:
+      return ExchangeKind::kTears;
+    default:
+      AG_ASSERT_MSG(false, "not a consensus algorithm");
+      return ExchangeKind::kAllToAll;
+  }
+}
+
+Val consensus_input_for(const GossipSpec& spec, ProcessId p) {
+  // Same derivation as make_consensus_engine's InputPattern::kRandom: one
+  // rng seeded from the spec seed, drawn sequentially, so any builder that
+  // needs only process p's input still walks the same sequence.
+  Xoshiro256SS input_rng(spec.seed ^ 0x1B9075ULL);
+  Val input = 0;
+  for (ProcessId q = 0; q <= p; ++q)
+    input = input_rng.bernoulli(0.5) ? Val{1} : Val{0};
+  return input;
+}
+
+namespace {
+
+std::vector<std::unique_ptr<Process>> make_cr_processes(
+    const GossipSpec& spec) {
+  AG_ASSERT_MSG(spec.n >= 3, "cr-* algorithms need n >= 3");
+  AG_ASSERT_MSG(spec.f < (spec.n + 1) / 2, "cr-* algorithms need f < n/2");
+  ConsensusConfig cfg;
+  cfg.n = spec.n;
+  cfg.f = spec.f;
+  cfg.exchange = exchange_for_algorithm(spec.algorithm);
+  cfg.sears_epsilon = spec.sears_epsilon;
+  cfg.sears_fanout_constant = spec.sears_fanout_constant;
+  // GossipSpec's TEARS knob defaults (4.0 / 8.0) are tuned for plain TEARS
+  // gossip; the consensus exchanges use the consensus layer's scaled-down
+  // defaults (1.0 / 1.0 — see gossip/tears.h on why). Map proportionally so
+  // explicit spec overrides still bite.
+  cfg.tears_a_constant = spec.tears_a_constant / 4.0;
+  cfg.tears_kappa_constant = spec.tears_kappa_constant / 8.0;
+  cfg.seed = spec.seed;
+
+  Xoshiro256SS input_rng(spec.seed ^ 0x1B9075ULL);
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(spec.n);
+  for (std::size_t p = 0; p < spec.n; ++p) {
+    const Val input = input_rng.bernoulli(0.5) ? Val{1} : Val{0};
+    procs.push_back(std::make_unique<ConsensusProcess>(
+        static_cast<ProcessId>(p), input, cfg));
+  }
+  return procs;
+}
+
+}  // namespace
+
+void register_consensus_algorithms() {
+  set_consensus_process_factory(&make_cr_processes);
+}
+
+std::string format_consensus_note(const ConsensusNote& note) {
+  std::ostringstream os;
+  os << "cr decided=" << (note.decided ? 1 : 0)
+     << " value=" << static_cast<int>(note.value)
+     << " input=" << static_cast<int>(note.input) << " phase=" << note.phase
+     << " viol=" << note.core_violations << " reann=" << note.reannouncements;
+  return os.str();
+}
+
+ConsensusNote parse_consensus_note(const std::string& text) {
+  ConsensusNote note;
+  std::istringstream is(text);
+  std::string tag;
+  if (!(is >> tag) || tag != "cr") return note;
+  std::string field;
+  int decoded = 0;
+  while (is >> field) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) return {};
+    const std::string key = field.substr(0, eq);
+    long long value = 0;
+    try {
+      value = std::stoll(field.substr(eq + 1));
+    } catch (...) {
+      return {};
+    }
+    if (key == "decided") note.decided = value != 0;
+    else if (key == "value") note.value = static_cast<Val>(value);
+    else if (key == "input") note.input = static_cast<Val>(value);
+    else if (key == "phase") note.phase = static_cast<std::uint32_t>(value);
+    else if (key == "viol")
+      note.core_violations = static_cast<std::uint64_t>(value);
+    else if (key == "reann")
+      note.reannouncements = static_cast<std::uint64_t>(value);
+    else
+      return {};
+    ++decoded;
+  }
+  note.valid = decoded == 6;
+  return note;
+}
+
+std::string ConsensusVerdict::summary() const {
+  std::ostringstream os;
+  // decided_count can exceed survivors: a process that decided and then
+  // crashed still reported a decision through its note.
+  os << (ok() ? "ok" : "FAIL") << ": " << survivors
+     << " survivors, " << decided_count << " decided";
+  if (decided_count > 0)
+    os << ", value " << static_cast<int>(decided_value) << " at phase "
+       << decision_phase;
+  if (!agreement) os << ", AGREEMENT VIOLATED";
+  if (!validity) os << ", VALIDITY VIOLATED";
+  if (core_violations > 0) os << ", " << core_violations << " core violations";
+  return os.str();
+}
+
+ConsensusVerdict judge_consensus_notes(const std::vector<std::string>& notes,
+                                       const std::vector<bool>& crashed) {
+  AG_ASSERT_MSG(crashed.size() == notes.size(),
+                "judge_consensus_notes: notes/crashed size mismatch");
+  ConsensusVerdict v;
+  v.all_decided = true;
+  v.agreement = true;
+  bool saw0_input = false, saw1_input = false;
+  for (std::size_t p = 0; p < notes.size(); ++p) {
+    const ConsensusNote note = parse_consensus_note(notes[p]);
+    if (!note.valid) {
+      // A missing/garbled note is a failed process verdict, not a crash.
+      if (!crashed[p]) v.all_decided = false;
+      continue;
+    }
+    if (note.input == 0) saw0_input = true;
+    if (note.input == 1) saw1_input = true;
+    // Decisions count wherever they happened — a process that decided
+    // before crashing still binds agreement (uniform agreement holds under
+    // crash faults).
+    if (note.decided) {
+      ++v.decided_count;
+      if (v.decided_value == kValUnknown) v.decided_value = note.value;
+      else if (v.decided_value != note.value) v.agreement = false;
+      if (note.phase > v.decision_phase) v.decision_phase = note.phase;
+    }
+    if (!crashed[p]) {
+      ++v.survivors;
+      if (!note.decided) v.all_decided = false;
+      v.core_violations += note.core_violations;
+      v.reannouncements += note.reannouncements;
+    }
+  }
+  if (v.survivors == 0) v.all_decided = false;
+  v.validity = v.decided_count == 0 ||
+               (v.decided_value == 0 && saw0_input) ||
+               (v.decided_value == 1 && saw1_input);
+  if (v.decided_count == 0) v.validity = false;
+  return v;
+}
+
+}  // namespace asyncgossip

@@ -1,0 +1,72 @@
+// Bridge between the consensus layer and the gossip algorithm palette:
+// registers CR-ears/CR-sears/CR-tears as GossipAlgorithm entries so the
+// same GossipSpec seam (sim engine, rt threaded driver, rt multi-process
+// driver, fuzzer) runs Canetti-Rabin consensus, and defines the per-process
+// "final note" verdict channel those runtimes carry across thread and
+// process boundaries.
+//
+// Layering: the gossip layer cannot include consensus headers, so
+// make_gossip_processes dispatches cr-* specs through a registered factory
+// (gossip/harness.h). Call register_consensus_algorithms() once at startup
+// (gossiplab's main does; tests call it in their fixtures) before building
+// the first cr-* spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consensus/core_types.h"
+#include "gossip/harness.h"
+
+namespace asyncgossip {
+
+/// Installs the cr-* process factory into the gossip palette. Idempotent
+/// and cheap; safe to call from multiple entry points.
+void register_consensus_algorithms();
+
+/// The ExchangeKind behind a cr-* palette entry. Asserts on non-consensus
+/// algorithms.
+ExchangeKind exchange_for_algorithm(GossipAlgorithm algorithm);
+
+/// Deterministic input bit for process p under this spec: every builder
+/// (each multiproc worker re-derives the full vector independently) agrees.
+Val consensus_input_for(const GossipSpec& spec, ProcessId p);
+
+/// One process's end-of-run verdict, parsed from GossipProcess::final_note.
+struct ConsensusNote {
+  bool valid = false;  // note parsed as a consensus note at all
+  bool decided = false;
+  Val value = kValUnknown;
+  Val input = kValUnknown;
+  std::uint32_t phase = 0;  // phase at which the process decided (0 = not)
+  std::uint64_t core_violations = 0;
+  std::uint64_t reannouncements = 0;
+};
+
+std::string format_consensus_note(const ConsensusNote& note);
+ConsensusNote parse_consensus_note(const std::string& text);
+
+/// Aggregate consensus verdict over a run's per-process notes. `crashed[p]`
+/// marks processes the run crashed: their decisions are not required, but
+/// their inputs still count for validity (the sim-side oracle judges the
+/// same way).
+struct ConsensusVerdict {
+  bool all_decided = false;  // every surviving process decided
+  bool agreement = false;    // all decisions equal
+  bool validity = false;     // decided value was somebody's input
+  Val decided_value = kValUnknown;
+  std::uint32_t decision_phase = 0;  // highest phase at which anyone decided
+  std::size_t decided_count = 0;
+  std::size_t survivors = 0;
+  std::uint64_t core_violations = 0;
+  std::uint64_t reannouncements = 0;
+
+  bool ok() const { return all_decided && agreement && validity; }
+  std::string summary() const;
+};
+
+ConsensusVerdict judge_consensus_notes(const std::vector<std::string>& notes,
+                                       const std::vector<bool>& crashed);
+
+}  // namespace asyncgossip

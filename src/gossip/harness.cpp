@@ -43,6 +43,12 @@ const char* to_string(GossipAlgorithm algorithm) {
       return "lazy";
     case GossipAlgorithm::kRoundRobin:
       return "round-robin";
+    case GossipAlgorithm::kCrEars:
+      return "cr-ears";
+    case GossipAlgorithm::kCrSears:
+      return "cr-sears";
+    case GossipAlgorithm::kCrTears:
+      return "cr-tears";
   }
   return "?";
 }
@@ -57,14 +63,37 @@ bool algorithm_from_string(const std::string& name, GossipAlgorithm* out) {
     *out = GossipAlgorithm::kEarsNoInformedList;
   else if (name == "lazy") *out = GossipAlgorithm::kLazy;
   else if (name == "round-robin") *out = GossipAlgorithm::kRoundRobin;
+  else if (name == "cr-ears") *out = GossipAlgorithm::kCrEars;
+  else if (name == "cr-sears") *out = GossipAlgorithm::kCrSears;
+  else if (name == "cr-tears") *out = GossipAlgorithm::kCrTears;
   else return false;
   return true;
+}
+
+bool is_consensus_algorithm(GossipAlgorithm algorithm) {
+  return algorithm == GossipAlgorithm::kCrEars ||
+         algorithm == GossipAlgorithm::kCrSears ||
+         algorithm == GossipAlgorithm::kCrTears;
+}
+
+namespace {
+ConsensusProcessFactory g_consensus_factory = nullptr;
+}  // namespace
+
+void set_consensus_process_factory(ConsensusProcessFactory factory) {
+  g_consensus_factory = factory;
 }
 
 std::vector<std::unique_ptr<Process>> make_gossip_processes(
     const GossipSpec& spec) {
   AG_ASSERT_MSG(spec.n >= 2, "gossip spec needs n >= 2");
   AG_ASSERT_MSG(spec.f < spec.n, "gossip spec needs f < n");
+  if (is_consensus_algorithm(spec.algorithm)) {
+    AG_ASSERT_MSG(g_consensus_factory != nullptr,
+                  "cr-* algorithms need register_consensus_algorithms() "
+                  "(consensus/cr_gossip.h) called first");
+    return g_consensus_factory(spec);
+  }
   std::vector<std::unique_ptr<Process>> procs;
   procs.reserve(spec.n);
   switch (spec.algorithm) {
@@ -139,18 +168,27 @@ std::vector<std::unique_ptr<Process>> make_gossip_processes(
             static_cast<ProcessId>(p), cfg));
       break;
     }
+    case GossipAlgorithm::kCrEars:
+    case GossipAlgorithm::kCrSears:
+    case GossipAlgorithm::kCrTears:
+      break;  // handled above via the registered consensus factory
   }
   return procs;
 }
 
 Time default_step_budget(const GossipSpec& spec) {
+  const double n = static_cast<double>(spec.n);
+  const double lg = std::log2(n) + 1.0;
+  const double dd = static_cast<double>(spec.d + spec.delta);
+  if (is_consensus_algorithm(spec.algorithm)) {
+    // Matches run_consensus_spec's budget: O(1) phases of O(log^2 n (d+δ))
+    // gossip each in expectation, padded for the catch-up machinery.
+    return static_cast<Time>(2000.0 * lg * lg * dd + 64.0 * n);
+  }
   // Generous: the claimed time complexities are at most
   // n/(n-f) * log^2 n * (d + delta) up to constants; budget two orders of
   // magnitude above to make non-termination failures unambiguous.
-  const double n = static_cast<double>(spec.n);
   const double ratio = n / static_cast<double>(spec.n - spec.f);
-  const double lg = std::log2(n) + 1.0;
-  const double dd = static_cast<double>(spec.d + spec.delta);
   const double budget = 400.0 * ratio * lg * lg * dd + 4096.0;
   return static_cast<Time>(budget);
 }
@@ -159,6 +197,9 @@ bool gossip_requires_gathering(const GossipSpec& spec) {
   switch (spec.algorithm) {
     case GossipAlgorithm::kTears:  // majority gossip only
     case GossipAlgorithm::kLazy:   // completion only (cascading foil)
+    case GossipAlgorithm::kCrEars:   // consensus: judged by decision notes,
+    case GossipAlgorithm::kCrSears:  // not rumor spread (cr_gossip.h)
+    case GossipAlgorithm::kCrTears:
       return false;
     case GossipAlgorithm::kSync:
       // The synchronous baseline assumes d = delta = 1 a priori (its fixed
@@ -173,6 +214,7 @@ bool gossip_requires_gathering(const GossipSpec& spec) {
 
 bool gossip_requires_majority(const GossipSpec& spec) {
   if (spec.algorithm == GossipAlgorithm::kLazy) return false;
+  if (is_consensus_algorithm(spec.algorithm)) return false;
   if (spec.algorithm == GossipAlgorithm::kSync)
     return spec.d == 1 && spec.delta == 1;  // same regime caveat as above
   return true;

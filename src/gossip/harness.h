@@ -21,6 +21,7 @@ namespace asyncgossip {
 
 class TelemetryCollector;
 struct TelemetryConfig;
+struct GossipSpec;
 
 enum class GossipAlgorithm {
   kTrivial,
@@ -37,6 +38,14 @@ enum class GossipAlgorithm {
   /// Deterministic EARS variant: cyclic instead of random targets (the
   /// paper's open question about deterministic asynchronous gossip).
   kRoundRobin,
+  /// Canetti-Rabin consensus over the gossip transports (paper Section 6 /
+  /// Table 2). These run through the same spec/engine/rt seams as the plain
+  /// gossip algorithms; process construction is delegated to the consensus
+  /// layer via set_consensus_process_factory (the gossip layer cannot
+  /// include consensus headers).
+  kCrEars,
+  kCrSears,
+  kCrTears,
 };
 
 const char* to_string(GossipAlgorithm algorithm);
@@ -46,6 +55,24 @@ const char* to_string(GossipAlgorithm algorithm);
 /// *out untouched. Shared by gossiplab's flag parsing and the
 /// repro-artifact reader (gossip/spec_json.h).
 bool algorithm_from_string(const std::string& name, GossipAlgorithm* out);
+
+/// True for the consensus-over-gossip palette entries (kCrEars/kCrSears/
+/// kCrTears). These have different completion semantics: they solve binary
+/// consensus, not rumor gathering, so the gathering/majority postconditions
+/// do not apply and runtime drivers judge them via per-process final notes
+/// instead (see consensus/cr_gossip.h).
+bool is_consensus_algorithm(GossipAlgorithm algorithm);
+
+/// Hook through which the consensus layer plugs its process construction
+/// into make_gossip_processes without a gossip->consensus dependency edge.
+/// The factory must build all n processes for the spec (inputs derived
+/// deterministically from spec.seed so independent builders — e.g. one per
+/// multiproc worker — agree on every process's input). Registration is
+/// process-global and must happen before the first cr-* spec is built;
+/// consensus::register_consensus_algorithms() does it.
+using ConsensusProcessFactory =
+    std::vector<std::unique_ptr<Process>> (*)(const GossipSpec& spec);
+void set_consensus_process_factory(ConsensusProcessFactory factory);
 
 /// Default for GossipSpec::engine_jobs: the AG_ENGINE_JOBS environment
 /// variable parsed as a non-negative integer (0 = hardware concurrency), or

@@ -7,6 +7,8 @@
 // the owning process's initialization and spread by union.
 #pragma once
 
+#include <string>
+
 #include "common/bitset.h"
 #include "sim/process.h"
 
@@ -25,6 +27,12 @@ class GossipProcess : public Process {
 
   /// Total local steps executed (the process's own step counter).
   virtual std::uint64_t local_steps() const = 0;
+
+  /// Optional algorithm-specific end-of-run summary (single line, no
+  /// newlines). Plain gossip has none; consensus processes report their
+  /// decision here so runtime drivers can carry a per-process verdict
+  /// across thread and process boundaries without knowing the algorithm.
+  virtual std::string final_note() const { return {}; }
 };
 
 }  // namespace asyncgossip

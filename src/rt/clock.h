@@ -59,6 +59,15 @@ class Stopwatch {
         .count();
   }
 
+  /// Microseconds elapsed since construction — integer, for per-request
+  /// latency samples (svc commit latency percentiles).
+  std::uint64_t elapsed_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
  private:
   std::chrono::steady_clock::time_point start_;
 };

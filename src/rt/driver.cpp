@@ -425,6 +425,13 @@ RtRunResult run_realtime(const RtConfig& config) {
     if (!correct.subset_of(gp.rumors())) oc.gathering_ok = false;
     if (gp.rumors().count() < need) oc.majority_ok = false;
   }
+  result.notes.resize(n);
+  result.crashed.resize(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto& gp = dynamic_cast<const GossipProcess&>(*processes[p]);
+    result.notes[p] = gp.final_note();
+    result.crashed[p] = crashed_final[p] != 0;
+  }
   return result;
 }
 

@@ -140,6 +140,14 @@ struct RtRunResult {
   /// the recorder's post-run cost. The in-run cost is what the bench gate's
   /// recorder-on vs recorder-off case bounds (tools/bench_gate.py).
   double recorder_overhead_ms = 0.0;
+  /// Per-process final notes (GossipProcess::final_note), size n. Empty
+  /// strings for algorithms without one; consensus runs carry their
+  /// decision verdict here (consensus/cr_gossip.h parses them).
+  std::vector<std::string> notes;
+  /// Post-join crash snapshot, size n — which processes the injector
+  /// crashed. Pairs with `notes` for verdicts that must skip crashed
+  /// processes.
+  std::vector<bool> crashed;
 };
 
 /// Executes the run and returns the merged record. Thread count is

@@ -97,6 +97,8 @@ struct WorkerMeta {
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
   std::uint64_t steps = 0;
+  /// GossipProcess::final_note() — single line, may be empty.
+  std::string note;
 };
 
 bool write_worker_file(const std::string& path, const WorkerMeta& meta,
@@ -110,6 +112,7 @@ bool write_worker_file(const std::string& path, const WorkerMeta& meta,
   os << "# rumors " << meta.worker;
   rumors.for_each_set([&](std::size_t i) { os << ' ' << i; });
   os << '\n';
+  if (!meta.note.empty()) os << "# note " << meta.note << '\n';
   for (const RtProbeRecord& r : log.probes) {
     if (r.is_phase)
       os << "# probe phase " << r.time << ' ' << r.process << ' '
@@ -170,6 +173,8 @@ bool parse_worker_file(const std::string& path, std::size_t n,
       std::uint64_t bit = 0;
       while (ls >> bit)
         if (bit < n) rumors->set(bit);
+    } else if (line.rfind("# note ", 0) == 0) {
+      meta->note = line.substr(std::strlen("# note "));
     } else if (line.rfind("# probe phase ", 0) == 0) {
       std::istringstream ls(line.substr(std::strlen("# probe phase ")));
       std::uint64_t t = 0, proc = 0;
@@ -435,6 +440,7 @@ int run_rt_udp_worker(const RtConfig& config, ProcessId worker,
   meta.bytes = log.bytes;
   meta.dropped = log.dropped;
   meta.steps = local_step;
+  meta.note = gp->final_note();
   const bool wrote = write_worker_file(trace_out, meta, gp->rumors(), log);
 
   std::vector<std::uint8_t> bye;
@@ -703,6 +709,8 @@ MultiprocResult run_realtime_udp(const MultiprocConfig& config) {
   for (ProcessId p = 0; p < n; ++p) rumors.emplace_back(n);
   std::vector<std::uint8_t> quiescent(n, 0);
   bool parse_ok = true;
+  res.run.notes.resize(n);
+  res.run.crashed.assign(n, false);
   for (ProcessId p = 0; p < n; ++p) {
     WorkerMeta meta;
     std::string error;
@@ -720,6 +728,8 @@ MultiprocResult run_realtime_udp(const MultiprocConfig& config) {
     }
     crashed[p] = meta.crashed ? 1 : 0;
     quiescent[p] = meta.quiescent ? 1 : 0;
+    res.run.notes[p] = meta.note;
+    res.run.crashed[p] = meta.crashed;
     if (meta.timed_out) {
       fail("worker " + std::to_string(p) + " hit its hard deadline");
       protocol_failed = true;

@@ -23,7 +23,35 @@ constexpr std::uint64_t kTagTears = 3;
 constexpr std::uint64_t kTagSync = 4;
 constexpr std::uint64_t kTagLazy = 5;
 
+struct ExtensionCodec {
+  std::uint64_t tag = 0;
+  ExtensionEncodeFn encode = nullptr;
+  ExtensionDecodeFn decode = nullptr;
+};
+
+/// Startup-registered, then read-only (see wire.h on the registration
+/// contract); no lock needed on the hot path.
+std::vector<ExtensionCodec>& extension_codecs() {
+  static std::vector<ExtensionCodec> codecs;
+  return codecs;
+}
+
 }  // namespace
+
+void register_extension_payload(std::uint64_t tag, ExtensionEncodeFn encode,
+                                ExtensionDecodeFn decode) {
+  AG_ASSERT_MSG(tag >= kFirstExtensionTag,
+                "extension payload tags start at kFirstExtensionTag");
+  AG_ASSERT_MSG(encode != nullptr && decode != nullptr,
+                "extension payload codec needs both directions");
+  for (const ExtensionCodec& c : extension_codecs()) {
+    if (c.tag != tag) continue;
+    AG_ASSERT_MSG(c.encode == encode && c.decode == decode,
+                  "conflicting codec registered for this extension tag");
+    return;  // idempotent re-registration
+  }
+  extension_codecs().push_back({tag, encode, decode});
+}
 
 const char* to_string(DecodeError err) {
   switch (err) {
@@ -187,6 +215,8 @@ void encode_payload(std::vector<std::uint8_t>* out, const Payload* payload) {
     encode_bitset(out, p->rumors);
     return;
   }
+  for (const ExtensionCodec& c : extension_codecs())
+    if (c.encode(out, *payload)) return;
   AG_ASSERT_MSG(false, "payload type has no asyncgossip-wire-v1 encoding");
 }
 
@@ -244,6 +274,8 @@ bool decode_payload(Reader* r, PayloadPtr* out) {
       return true;
     }
     default:
+      for (const ExtensionCodec& c : extension_codecs())
+        if (c.tag == tag) return c.decode(r, out);
       r->fail(DecodeError::kBadPayloadTag);
       return false;
   }

@@ -116,6 +116,29 @@ bool decode_bitset(Reader* r, DynamicBitset* out);
 void encode_payload(std::vector<std::uint8_t>* out, const Payload* payload);
 bool decode_payload(Reader* r, PayloadPtr* out);
 
+// --- extension payload codecs --------------------------------------------
+// Layers above rt can put payload types on the wire that the core codec
+// must not know (layering: rt cannot include consensus headers — the
+// consensus ConsensusPayload codec lives in svc/consensus_wire.h). An
+// extension claims a tag >= kFirstExtensionTag and registers an encoder
+// probe plus a decoder. The encoder does its own dynamic type test: it
+// writes tag + body and returns true when the payload is its type, else
+// returns false leaving `out` untouched (probes chain in registration
+// order). The decoder is invoked after the tag has been read and must obey
+// the same strictness contract as the built-in shapes. Registration is
+// process-global and must precede the first encode/decode of such a
+// payload (single-threaded startup — gossiplab's main registers);
+// re-registering the same (tag, fns) triple is an idempotent no-op, a
+// conflicting one asserts.
+inline constexpr std::uint64_t kFirstExtensionTag = 16;
+
+using ExtensionEncodeFn = bool (*)(std::vector<std::uint8_t>* out,
+                                   const Payload& payload);
+using ExtensionDecodeFn = bool (*)(Reader* r, PayloadPtr* out);
+
+void register_extension_payload(std::uint64_t tag, ExtensionEncodeFn encode,
+                                ExtensionDecodeFn decode);
+
 // --- frames --------------------------------------------------------------
 
 /// Writes the 4-byte header.

@@ -1,0 +1,134 @@
+// The replicated KV service's command vocabulary and its loopback text
+// encoding (asyncgossip-svc-req-v1 / asyncgossip-svc-res-v1).
+//
+// Commands are space-delimited single-line datagrams: keys and values are
+// restricted to [!-~] \ {' '} (no whitespace, printable ASCII), which the
+// loadgen's generated keyspace satisfies by construction and serve()
+// enforces on ingress. One request datagram -> one response datagram; the
+// (client, client_seq) pair is the idempotence/matching token echoed back
+// verbatim.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace asyncgossip {
+namespace svc {
+
+enum class SvcOp : std::uint8_t { kPut = 0, kGet = 1, kCas = 2 };
+
+inline const char* to_string(SvcOp op) {
+  switch (op) {
+    case SvcOp::kPut:
+      return "put";
+    case SvcOp::kGet:
+      return "get";
+    case SvcOp::kCas:
+      return "cas";
+  }
+  return "?";
+}
+
+inline bool op_from_string(const std::string& name, SvcOp* out) {
+  if (name == "put") *out = SvcOp::kPut;
+  else if (name == "get") *out = SvcOp::kGet;
+  else if (name == "cas") *out = SvcOp::kCas;
+  else return false;
+  return true;
+}
+
+/// One client command. `expected` is the CAS comparand (kCas only).
+struct Command {
+  SvcOp op = SvcOp::kPut;
+  std::uint64_t client = 0;
+  std::uint64_t client_seq = 0;
+  std::string key;
+  std::string value;
+  std::string expected;
+};
+
+/// Outcome of a committed (or refused) command.
+struct CommandResult {
+  /// Command committed and applied. For kCas, additionally the comparand
+  /// matched; a committed-but-failed CAS has ok = false with a log entry.
+  bool ok = false;
+  /// The replica group had lost its majority: nothing was committed and
+  /// the command left no trace in the log. The honest degraded answer.
+  bool unavailable = false;
+  /// Global log sequence number (1-based; 0 when unavailable).
+  std::uint64_t seq = 0;
+  /// kGet: the value read ("" when the key is absent, with found = false).
+  std::string value;
+  bool found = false;
+};
+
+inline bool token_ok(const std::string& s) {
+  if (s.empty() || s.size() > 4096) return false;
+  for (const char c : s)
+    if (c <= ' ' || c > '~') return false;
+  return true;
+}
+
+// --- request/response datagram encoding ----------------------------------
+
+inline std::string encode_request(const Command& cmd) {
+  std::ostringstream os;
+  os << "req " << cmd.client << ' ' << cmd.client_seq << ' '
+     << to_string(cmd.op) << ' ' << cmd.key;
+  if (cmd.op != SvcOp::kGet) os << ' ' << cmd.value;
+  if (cmd.op == SvcOp::kCas) os << ' ' << cmd.expected;
+  return os.str();
+}
+
+inline bool decode_request(const std::string& text, Command* out) {
+  std::istringstream is(text);
+  std::string tag, op;
+  if (!(is >> tag >> out->client >> out->client_seq >> op) || tag != "req")
+    return false;
+  if (!op_from_string(op, &out->op)) return false;
+  if (!(is >> out->key) || !token_ok(out->key)) return false;
+  if (out->op != SvcOp::kGet) {
+    if (!(is >> out->value) || !token_ok(out->value)) return false;
+  }
+  if (out->op == SvcOp::kCas) {
+    if (!(is >> out->expected) || !token_ok(out->expected)) return false;
+  }
+  std::string extra;
+  return !(is >> extra);
+}
+
+inline std::string encode_response(const Command& cmd,
+                                   const CommandResult& result) {
+  std::ostringstream os;
+  os << "res " << cmd.client << ' ' << cmd.client_seq << ' '
+     << (result.ok ? 1 : 0) << ' ' << (result.unavailable ? 1 : 0) << ' '
+     << result.seq << ' ' << (result.found ? 1 : 0);
+  if (result.found) os << ' ' << result.value;
+  return os.str();
+}
+
+struct Response {
+  std::uint64_t client = 0;
+  std::uint64_t client_seq = 0;
+  CommandResult result;
+};
+
+inline bool decode_response(const std::string& text, Response* out) {
+  std::istringstream is(text);
+  std::string tag;
+  int ok = 0, unavailable = 0, found = 0;
+  if (!(is >> tag >> out->client >> out->client_seq >> ok >> unavailable >>
+        out->result.seq >> found) ||
+      tag != "res")
+    return false;
+  out->result.ok = ok != 0;
+  out->result.unavailable = unavailable != 0;
+  out->result.found = found != 0;
+  if (found != 0 && !(is >> out->result.value)) return false;
+  std::string extra;
+  return !(is >> extra);
+}
+
+}  // namespace svc
+}  // namespace asyncgossip

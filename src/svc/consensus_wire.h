@@ -1,0 +1,26 @@
+// asyncgossip-wire-v1 extension codec for ConsensusPayload, letting the
+// cr-* algorithms run over `--transport udp` real processes. Lives in svc
+// because layering allows only this layer to see both rt/wire.h and
+// consensus/core_types.h (rt must not know consensus, consensus must not
+// know the wire).
+//
+// Body layout under tag kConsensusPayloadTag (strict + canonical, like the
+// built-in shapes): sender varint; position (phase varint, exchange byte
+// <= 2, sub byte <= 2); origins bitset; one byte per item over the bitset's
+// size (value + 2, so kValUnknown..1 -> 0..3); sender_x/sender_y bytes
+// (value + 2); decided byte <= 1; decision byte (value + 2); flag_up byte
+// <= 1. Canonical: items length is pinned to the origins bit count, every
+// range is checked.
+#pragma once
+
+namespace asyncgossip {
+namespace svc {
+
+inline constexpr unsigned long long kConsensusPayloadTag = 16;
+
+/// Registers the codec with rt/wire.h's extension registry. Idempotent;
+/// call before any cr-* UDP run (gossiplab's main and the Svc tests do).
+void register_consensus_wire();
+
+}  // namespace svc
+}  // namespace asyncgossip

@@ -1,0 +1,74 @@
+// Linearizability-style checking of the service's committed history.
+//
+// The service commits every command — including reads — into one totally
+// ordered log, so the check reduces to replay: (1) the log's sequence
+// numbers are dense from 1; (2) replaying the log through the same KvStore
+// transition function reproduces every entry's recorded result (a get that
+// returned a value other than the replayed state at its position is a
+// stale/phantom read; a CAS whose recorded ok contradicts the comparand
+// match is a lost or reordered write); (3) every acknowledged client
+// observation matches the log entry at its sequence number field-for-field
+// (an acked put with no log entry is a lost write); (4) each client's
+// acked client_seq values are strictly increasing along the log order
+// (session order). Unavailable-acked observations must have left no trace.
+//
+// Formats: `# asyncgossip-svc-log-v1` / `# asyncgossip-svc-obs-v1`
+// headers, then one entry per line (the encode/parse pairs below).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "svc/command.h"
+
+namespace asyncgossip {
+namespace svc {
+
+inline constexpr const char* kLogHeader = "# asyncgossip-svc-log-v1";
+inline constexpr const char* kObsHeader = "# asyncgossip-svc-obs-v1";
+
+/// One committed log entry: the command plus its recorded outcome.
+struct CommittedEntry {
+  std::uint64_t seq = 0;
+  Command cmd;
+  bool ok = false;           // recorded apply() outcome
+  bool found = false;        // kGet: key present
+  std::string read_value;    // kGet: value returned
+};
+
+/// One client-side observation of an acknowledged request.
+struct Observation {
+  Command cmd;
+  CommandResult result;
+};
+
+std::string encode_log_entry(const CommittedEntry& entry);
+bool parse_log_entry(const std::string& line, CommittedEntry* out);
+std::string encode_observation(const Observation& obs);
+bool parse_observation(const std::string& line, Observation* out);
+
+/// Reads a `# asyncgossip-svc-log-v1` / `-obs-v1` stream (header line, then
+/// entries). Returns false with *error set on malformed input.
+bool read_log(std::istream& is, std::vector<CommittedEntry>* out,
+              std::string* error);
+bool read_observations(std::istream& is, std::vector<Observation>* out,
+                       std::string* error);
+
+struct HistoryReport {
+  bool ok = false;
+  std::size_t entries = 0;
+  std::size_t observations = 0;
+  std::size_t acked = 0;        // acked committed observations cross-checked
+  std::size_t unavailable = 0;  // honest-unavailability acks
+  std::string error;            // first violation, empty when ok
+};
+
+/// The full check described in the file comment. Observations may cover
+/// any subset of the log (unacked requests simply have no observation).
+HistoryReport check_history(const std::vector<CommittedEntry>& log,
+                            const std::vector<Observation>& observations);
+
+}  // namespace svc
+}  // namespace asyncgossip

@@ -1,0 +1,40 @@
+#include "svc/kv.h"
+
+namespace asyncgossip {
+namespace svc {
+
+CommandResult KvStore::apply(const Command& cmd) {
+  CommandResult result;
+  switch (cmd.op) {
+    case SvcOp::kPut:
+      map_[cmd.key] = cmd.value;
+      result.ok = true;
+      break;
+    case SvcOp::kGet: {
+      const auto it = map_.find(cmd.key);
+      result.ok = true;
+      if (it != map_.end()) {
+        result.found = true;
+        result.value = it->second;
+      }
+      break;
+    }
+    case SvcOp::kCas: {
+      const auto it = map_.find(cmd.key);
+      // CAS on an absent key succeeds iff the comparand is the reserved
+      // absent token "-" (which token_ok permits and real values may also
+      // use; the loadgen never writes literal "-" values).
+      const bool match = it != map_.end() ? it->second == cmd.expected
+                                          : cmd.expected == "-";
+      if (match) {
+        map_[cmd.key] = cmd.value;
+        result.ok = true;
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace svc
+}  // namespace asyncgossip

@@ -1,0 +1,71 @@
+// Open-loop workload generator for the KV service. Requests are issued on
+// a fixed schedule derived from --rate (request k is due at k/rate seconds
+// after start), *not* paced by responses — the generator measures the
+// service, it does not adapt to it. Two targets: in-process (submit
+// straight into a KvService; the >= 1M-request soak path) and loopback UDP
+// (through UdpKvServer's datagram front-end; the serve smoke path).
+//
+// Accounting is exact: every request is attempted, and ends acked
+// (committed response seen), unavailable (honest degraded response seen),
+// or unacked (no response — possible only on UDP, where datagrams drop).
+// Acked observations stream to obs_out in the checker's svc-obs-v1 format;
+// the run is `complete` iff nothing was unavailable or unacked, and the
+// CLI turns an incomplete run into exit 1 — the honest verdict when the
+// fault plan exceeds the tolerated crash budget.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "svc/service.h"
+
+namespace asyncgossip {
+namespace svc {
+
+struct LoadgenConfig {
+  /// Requests per second; 0 = no pacing (issue as fast as possible).
+  double rate = 0.0;
+  /// Total requests to issue.
+  std::uint64_t requests = 0;
+  std::size_t keys = 1024;
+  std::size_t value_bytes = 16;
+  std::uint64_t seed = 1;
+  /// Logical clients, round-robin over requests; client ids are
+  /// 1..clients, each with its own strictly increasing client_seq.
+  std::size_t clients = 4;
+  double get_fraction = 0.4;
+  double cas_fraction = 0.1;
+  /// Acked/unavailable observations stream here (svc-obs-v1); caller-owned,
+  /// null disables.
+  std::ostream* obs_out = nullptr;
+
+  /// Target: exactly one of the two.
+  KvService* inproc = nullptr;
+  std::uint16_t udp_port = 0;
+  /// UDP: seconds to wait for trailing responses after the last send.
+  double drain_timeout_s = 5.0;
+};
+
+struct LoadgenReport {
+  std::uint64_t attempted = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t unacked = 0;
+  bool complete = false;  // acked == attempted
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+  double achieved_rate = 0.0;  // acked / wall
+  double wall_ms = 0.0;
+};
+
+/// Deterministic command for request index `i` under this config — the
+/// schedule is a pure function of (config, i), so tests can re-derive it.
+Command loadgen_command(const LoadgenConfig& config, std::uint64_t i);
+
+LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+}  // namespace svc
+}  // namespace asyncgossip

@@ -1,0 +1,90 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace asyncgossip {
+namespace svc {
+
+namespace {
+
+int bind_loopback(std::uint16_t port, std::uint16_t* bound) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  *bound = ntohs(addr.sin_port);
+  // Bounded blocking so the receive loop notices stop() promptly.
+  timeval tv{};
+  tv.tv_usec = 50 * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+}  // namespace
+
+UdpKvServer::UdpKvServer(KvService* service, std::uint16_t port)
+    : service_(service) {
+  fd_ = bind_loopback(port, &port_);
+  if (fd_ >= 0) receiver_ = std::thread([this] { recv_loop(); });
+}
+
+UdpKvServer::~UdpKvServer() {
+  stop();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpKvServer::stop() {
+  stopping_.store(true);
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void UdpKvServer::recv_loop() {
+  char buf[8192];
+  while (!stopping_.load()) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t got =
+        ::recvfrom(fd_, buf, sizeof(buf) - 1, 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (got <= 0) continue;  // timeout or spurious error: poll stop flag
+    buf[got] = '\0';
+    Command cmd;
+    if (!decode_request(std::string(buf, static_cast<std::size_t>(got)),
+                        &cmd)) {
+      malformed_.fetch_add(1);
+      continue;
+    }
+    requests_.fetch_add(1);
+    const int fd = fd_;
+    service_->submit(
+        cmd, [fd, from](const Command& c, const CommandResult& result,
+                        std::uint64_t /*latency_us*/) {
+          const std::string res = encode_response(c, result);
+          (void)::sendto(fd, res.data(), res.size(), 0,
+                         reinterpret_cast<const sockaddr*>(&from),
+                         sizeof(from));
+        });
+  }
+}
+
+}  // namespace svc
+}  // namespace asyncgossip

@@ -1,0 +1,50 @@
+// Loopback UDP front-end for the KV service: one datagram in (svc-req-v1),
+// one datagram out (svc-res-v1), response sent to the request's source
+// address from the commit thread once the command's batch resolves. UDP
+// fits the service's idempotence story — a lost response simply shows up
+// as an unacked request in the loadgen's accounting, never as a duplicate
+// apply (the checker would catch one).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "svc/service.h"
+
+namespace asyncgossip {
+namespace svc {
+
+class UdpKvServer {
+ public:
+  /// Binds 127.0.0.1:port (0 = ephemeral) and starts the receive loop.
+  /// Check ok() before use. `service` must outlive the server.
+  UdpKvServer(KvService* service, std::uint16_t port);
+  ~UdpKvServer();
+
+  UdpKvServer(const UdpKvServer&) = delete;
+  UdpKvServer& operator=(const UdpKvServer&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests() const { return requests_.load(); }
+  std::uint64_t malformed() const { return malformed_.load(); }
+
+  /// Stops accepting requests and joins the receive thread. Idempotent.
+  /// In-flight commands still get responses (the service owns them).
+  void stop();
+
+ private:
+  void recv_loop();
+
+  KvService* service_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::thread receiver_;
+};
+
+}  // namespace svc
+}  // namespace asyncgossip

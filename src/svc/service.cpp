@@ -1,0 +1,121 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <iterator>
+#include <ostream>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace asyncgossip {
+namespace svc {
+
+KvService::KvService(const KvServiceConfig& config)
+    : config_(config), group_(config.group) {
+  AG_ASSERT_MSG(config_.batch_limit > 0, "batch_limit must be positive");
+  if (config_.log_out != nullptr)
+    *config_.log_out << kLogHeader << " algorithm "
+                     << to_string(config_.group.algorithm) << " n "
+                     << config_.group.n << " f " << config_.group.f
+                     << " seed " << config_.group.seed << '\n';
+  committer_ = std::thread([this] { commit_loop(); });
+}
+
+KvService::~KvService() { stop(); }
+
+void KvService::submit(const Command& cmd, Callback done) {
+  bool rejected = false;
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) {
+      ++stats_.unavailable;
+      rejected = true;
+    } else {
+      ++stats_.submitted;
+      queue_.push_back(Pending{cmd, std::move(done), Stopwatch{}});
+    }
+  }
+  if (rejected) {
+    CommandResult result;
+    result.unavailable = true;
+    if (done) done(cmd, result, 0);
+    return;
+  }
+  cv_.notify_one();
+}
+
+void KvService::stop() {
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (!joined_ && committer_.joinable()) {
+    committer_.join();
+    joined_ = true;
+  }
+}
+
+KvServiceStats KvService::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void KvService::commit_loop() {
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !stopping_) cv_.wait(mu_);
+      if (queue_.empty()) return;  // stopping and drained
+      const std::size_t take = std::min(queue_.size(), config_.batch_limit);
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.begin() +
+                                           static_cast<std::ptrdiff_t>(take)));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    commit_batch(batch);
+  }
+}
+
+void KvService::commit_batch(std::vector<Pending>& batch) {
+  const CommitOutcome slot = group_.commit_slot();
+  const bool ok = slot.committed && !slot.unavailable;
+  for (Pending& p : batch) {
+    CommandResult result;
+    if (ok) {
+      result = store_.apply(p.cmd);
+      result.seq = next_seq_++;
+      if (config_.log_out != nullptr) {
+        CommittedEntry entry;
+        entry.seq = result.seq;
+        entry.cmd = p.cmd;
+        entry.ok = result.ok;
+        entry.found = result.found;
+        entry.read_value = result.value;
+        *config_.log_out << encode_log_entry(entry) << '\n';
+      }
+    } else {
+      result.unavailable = true;
+    }
+    const std::uint64_t us = p.latency.elapsed_us();
+    if (p.done) p.done(p.cmd, result, us);
+  }
+  if (config_.log_out != nullptr) config_.log_out->flush();
+
+  MutexLock lock(&mu_);
+  ++stats_.slots;
+  if (!ok) ++stats_.slots_unavailable;
+  if (slot.stalled) ++stats_.slots_stalled;
+  stats_.consensus_messages += slot.messages;
+  stats_.consensus_bytes += slot.bytes;
+  stats_.consensus_ticks += slot.decision_time;
+  if (ok) stats_.committed += batch.size();
+  else stats_.unavailable += batch.size();
+  stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
+}
+
+}  // namespace svc
+}  // namespace asyncgossip

@@ -1,0 +1,23 @@
+// aglint-fixture-as: src/svc/fixture_svc.cpp
+// aglint-expect: AG-LAY-001
+// aglint-expect: AG-LCK-002
+//
+// The serving layer sits above rt/consensus but below apps/tools: a
+// src/svc file including an apps header inverts the DAG (AG-LAY-001), and
+// src/svc is threaded code (the KvService commit thread, the UDP server
+// receive loop), so a raw std::mutex there escapes clang -Wthread-safety
+// checking (AG-LCK-002).
+#include <mutex>
+
+#include "apps/telemetry.h"
+
+namespace asyncgossip {
+
+std::mutex svc_raw_mu;  // AG-LCK-002
+
+int svc_layer_inversion() {
+  const std::lock_guard<std::mutex> lock(svc_raw_mu);  // AG-LCK-002
+  return 1;
+}
+
+}  // namespace asyncgossip

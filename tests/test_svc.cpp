@@ -1,0 +1,576 @@
+// Tests for the serving stack (src/svc) and the consensus-on-rt bridge
+// (consensus/cr_gossip.h). Load-bearing properties: the cr-* palette
+// entries run Canetti-Rabin to a clean verdict on the real-time runtime
+// (threads, and threads over the UDP transport via the extension wire
+// codec); the committed-history checker actually rejects lost writes,
+// stale reads, and session-order violations (a checker that cannot fail is
+// not a checker); replica-group outcomes and the loadgen schedule are pure
+// functions of their seeds; and the open-loop generator's accounting is
+// exact. The Svc/Consensus prefixes put these under the tsan-nightly
+// regex.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "consensus/core_types.h"
+#include "consensus/cr_gossip.h"
+#include "rt/driver.h"
+#include "rt/wire.h"
+#include "svc/consensus_wire.h"
+#include "svc/history.h"
+#include "svc/kv.h"
+#include "svc/loadgen.h"
+#include "svc/replica.h"
+#include "svc/service.h"
+
+namespace asyncgossip {
+namespace {
+
+using svc::Command;
+using svc::CommandResult;
+using svc::CommittedEntry;
+using svc::Observation;
+using svc::SvcOp;
+
+// --- consensus note / verdict channel -------------------------------------
+
+TEST(ConsensusNote, FormatParseRoundTrip) {
+  ConsensusNote note;
+  note.valid = true;
+  note.decided = true;
+  note.value = 1;
+  note.input = 0;
+  note.phase = 3;
+  note.core_violations = 0;
+  note.reannouncements = 2;
+  const ConsensusNote back = parse_consensus_note(format_consensus_note(note));
+  EXPECT_TRUE(back.valid);
+  EXPECT_EQ(back.decided, note.decided);
+  EXPECT_EQ(back.value, note.value);
+  EXPECT_EQ(back.input, note.input);
+  EXPECT_EQ(back.phase, note.phase);
+  EXPECT_EQ(back.reannouncements, note.reannouncements);
+}
+
+TEST(ConsensusNote, RejectsForeignAndMalformedNotes) {
+  EXPECT_FALSE(parse_consensus_note("").valid);
+  EXPECT_FALSE(parse_consensus_note("rumors 1 2 3").valid);
+  EXPECT_FALSE(parse_consensus_note("cr decided=1").valid);
+  const std::string good = format_consensus_note(ConsensusNote{});
+  EXPECT_FALSE(parse_consensus_note(good + " trailing=1").valid);
+}
+
+ConsensusNote decided_note(Val value, Val input) {
+  ConsensusNote n;
+  n.valid = true;
+  n.decided = true;
+  n.value = value;
+  n.input = input;
+  n.phase = 2;
+  return n;
+}
+
+TEST(ConsensusJudge, CleanUnanimousRunIsOk) {
+  std::vector<std::string> notes;
+  for (int i = 0; i < 4; ++i)
+    notes.push_back(format_consensus_note(decided_note(1, i % 2 ? 1 : 0)));
+  const ConsensusVerdict v =
+      judge_consensus_notes(notes, std::vector<bool>(4, false));
+  EXPECT_TRUE(v.ok()) << v.summary();
+  EXPECT_EQ(v.decided_value, 1);
+  EXPECT_EQ(v.survivors, 4u);
+  EXPECT_EQ(v.decided_count, 4u);
+}
+
+TEST(ConsensusJudge, DisagreementAnywhereBreaksAgreement) {
+  // The second decision happened on a process that later crashed; decisions
+  // bind agreement wherever they happened.
+  std::vector<std::string> notes = {
+      format_consensus_note(decided_note(1, 1)),
+      format_consensus_note(decided_note(0, 0)),
+      format_consensus_note(decided_note(1, 1)),
+  };
+  std::vector<bool> crashed = {false, true, false};
+  const ConsensusVerdict v = judge_consensus_notes(notes, crashed);
+  EXPECT_FALSE(v.agreement);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(ConsensusJudge, ValidityRequiresADecidedInput) {
+  // Everybody's input is 0 but the decision is 1: validity must fail.
+  std::vector<std::string> notes = {
+      format_consensus_note(decided_note(1, 0)),
+      format_consensus_note(decided_note(1, 0)),
+  };
+  const ConsensusVerdict v =
+      judge_consensus_notes(notes, std::vector<bool>(2, false));
+  EXPECT_TRUE(v.agreement);
+  EXPECT_FALSE(v.validity);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(ConsensusJudge, CrashedProcessesNeedNotDecide) {
+  ConsensusNote undecided;
+  undecided.valid = true;
+  undecided.decided = false;
+  undecided.input = 0;
+  std::vector<std::string> notes = {
+      format_consensus_note(decided_note(0, 0)),
+      format_consensus_note(undecided),
+      format_consensus_note(decided_note(0, 1)),
+  };
+  std::vector<bool> crashed = {false, true, false};
+  const ConsensusVerdict v = judge_consensus_notes(notes, crashed);
+  EXPECT_TRUE(v.ok()) << v.summary();
+  EXPECT_EQ(v.survivors, 2u);
+  // But the same undecided note on a *surviving* process fails the run.
+  const ConsensusVerdict v2 =
+      judge_consensus_notes(notes, std::vector<bool>(3, false));
+  EXPECT_FALSE(v2.all_decided);
+  EXPECT_FALSE(v2.ok());
+}
+
+// --- consensus on the real-time runtime -----------------------------------
+
+RtConfig consensus_rt_config(GossipAlgorithm algorithm) {
+  register_consensus_algorithms();
+  RtConfig config;
+  config.spec.algorithm = algorithm;
+  config.spec.n = 12;
+  config.spec.f = 5;  // f < n/2, the Table 2 regime
+  config.spec.d = 3;
+  config.spec.delta = 2;
+  config.spec.seed = 1;
+  config.spec.crash_horizon = 32;
+  config.tick_us = 100;
+  return config;
+}
+
+void expect_clean_consensus_run(const RtConfig& config) {
+  const RtRunResult res = run_realtime(config);
+  ASSERT_TRUE(res.outcome.completed)
+      << "cr run did not quiesce (alg " << to_string(config.spec.algorithm)
+      << ")";
+  const ConsensusVerdict v = judge_consensus_notes(res.notes, res.crashed);
+  EXPECT_TRUE(v.ok()) << v.summary();
+  EXPECT_EQ(v.core_violations, 0u);
+  const ViolationReport audit = audit_rt_run(config, res);
+  EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST(ConsensusRt, AllThreeExchangesDecideOnThreads) {
+  for (const GossipAlgorithm alg :
+       {GossipAlgorithm::kCrEars, GossipAlgorithm::kCrSears,
+        GossipAlgorithm::kCrTears}) {
+    expect_clean_consensus_run(consensus_rt_config(alg));
+  }
+}
+
+TEST(ConsensusRt, CrTearsSurvivesCrashInjection) {
+  RtConfig config = consensus_rt_config(GossipAlgorithm::kCrTears);
+  config.inject = RtInject::kCrash;
+  expect_clean_consensus_run(config);
+}
+
+TEST(ConsensusRt, CrEarsRunsOverUdpTransportThreads) {
+  svc::register_consensus_wire();
+  RtConfig config = consensus_rt_config(GossipAlgorithm::kCrEars);
+  config.spec.n = 8;
+  config.spec.f = 3;
+  config.transport = RtTransportKind::kUdp;
+  expect_clean_consensus_run(config);
+}
+
+// --- the ConsensusPayload wire extension codec ----------------------------
+
+TEST(SvcWire, ConsensusPayloadRoundTrips) {
+  svc::register_consensus_wire();
+  auto p = std::make_shared<ConsensusPayload>();
+  p->sender = 5;
+  p->pos.phase = 7;
+  p->pos.exchange = 1;
+  p->pos.sub = 2;
+  p->state.origins = DynamicBitset(9);
+  p->state.origins.set(0);
+  p->state.origins.set(8);
+  p->state.items.assign(9, kValUnknown);
+  p->state.items[0] = 1;
+  p->state.items[8] = kValBot;
+  p->sender_x = 0;
+  p->sender_y = kValBot;
+  p->decided = true;
+  p->decision = 1;
+  p->flag_up = true;
+
+  std::vector<std::uint8_t> bytes;
+  wire::encode_payload(&bytes, p.get());
+  wire::Reader r(bytes.data(), bytes.size());
+  PayloadPtr out;
+  ASSERT_TRUE(wire::decode_payload(&r, &out));
+  EXPECT_EQ(r.finish(), wire::DecodeError::kOk);
+  const auto* q = dynamic_cast<const ConsensusPayload*>(out.get());
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->sender, p->sender);
+  EXPECT_EQ(q->pos.phase, p->pos.phase);
+  EXPECT_EQ(q->pos.exchange, p->pos.exchange);
+  EXPECT_EQ(q->pos.sub, p->pos.sub);
+  EXPECT_EQ(q->state.origins.count(), p->state.origins.count());
+  EXPECT_EQ(q->state.items, p->state.items);
+  EXPECT_EQ(q->sender_x, p->sender_x);
+  EXPECT_EQ(q->sender_y, p->sender_y);
+  EXPECT_EQ(q->decided, p->decided);
+  EXPECT_EQ(q->decision, p->decision);
+  EXPECT_EQ(q->flag_up, p->flag_up);
+
+  // Every truncation of a valid encoding must fail cleanly, never crash.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    wire::Reader tr(bytes.data(), cut);
+    PayloadPtr tout;
+    EXPECT_FALSE(wire::decode_payload(&tr, &tout) &&
+                 tr.finish() == wire::DecodeError::kOk)
+        << "truncation at " << cut << " decoded";
+  }
+}
+
+// --- KvStore transition function ------------------------------------------
+
+TEST(SvcKv, PutGetCasSemantics) {
+  svc::KvStore store;
+  Command put;
+  put.op = SvcOp::kPut;
+  put.key = "k";
+  put.value = "v1";
+  EXPECT_TRUE(store.apply(put).ok);
+
+  Command get;
+  get.op = SvcOp::kGet;
+  get.key = "k";
+  CommandResult r = store.apply(get);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "v1");
+  get.key = "absent";
+  r = store.apply(get);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.found);
+
+  Command cas;
+  cas.op = SvcOp::kCas;
+  cas.key = "k";
+  cas.value = "v2";
+  cas.expected = "wrong";
+  EXPECT_FALSE(store.apply(cas).ok);  // comparand mismatch: no write
+  cas.expected = "v1";
+  EXPECT_TRUE(store.apply(cas).ok);
+  get.key = "k";
+  EXPECT_EQ(store.apply(get).value, "v2");
+
+  // The reserved "-" comparand matches exactly the absent key.
+  Command cas_absent;
+  cas_absent.op = SvcOp::kCas;
+  cas_absent.key = "fresh";
+  cas_absent.value = "v3";
+  cas_absent.expected = "-";
+  EXPECT_TRUE(store.apply(cas_absent).ok);
+  EXPECT_FALSE(store.apply(cas_absent).ok);  // now present: "-" no longer matches
+}
+
+// --- history codec and checker --------------------------------------------
+
+CommittedEntry log_entry(std::uint64_t seq, SvcOp op, std::uint64_t client,
+                         std::uint64_t cseq, const std::string& key,
+                         const std::string& value,
+                         const std::string& expected, bool ok, bool found,
+                         const std::string& read_value) {
+  CommittedEntry e;
+  e.seq = seq;
+  e.cmd.op = op;
+  e.cmd.client = client;
+  e.cmd.client_seq = cseq;
+  e.cmd.key = key;
+  e.cmd.value = value;
+  e.cmd.expected = expected;
+  e.ok = ok;
+  e.found = found;
+  e.read_value = read_value;
+  return e;
+}
+
+Observation obs_for(const CommittedEntry& e) {
+  Observation o;
+  o.cmd = e.cmd;
+  o.result.ok = e.ok;
+  o.result.seq = e.seq;
+  o.result.found = e.found;
+  o.result.value = e.read_value;
+  return o;
+}
+
+TEST(SvcHistoryCodec, LiteralDashComparandRoundTrips) {
+  // The CAS absent-comparand is the literal "-" — the same character the
+  // codec uses as its empty-field placeholder. The round trip must keep
+  // them apart (a collision here once produced phantom replay failures).
+  const CommittedEntry cas =
+      log_entry(1, SvcOp::kCas, 1, 1, "k", "v1", "-", true, false, "");
+  CommittedEntry back;
+  ASSERT_TRUE(svc::parse_log_entry(svc::encode_log_entry(cas), &back));
+  EXPECT_EQ(back.cmd.expected, "-");
+  EXPECT_EQ(back.cmd.value, "v1");
+  EXPECT_EQ(back.read_value, "");
+
+  const CommittedEntry get =
+      log_entry(2, SvcOp::kGet, 1, 2, "k", "", "", true, true, "v1");
+  ASSERT_TRUE(svc::parse_log_entry(svc::encode_log_entry(get), &back));
+  EXPECT_EQ(back.cmd.value, "");
+  EXPECT_EQ(back.cmd.expected, "");
+  EXPECT_EQ(back.read_value, "v1");
+
+  Observation o = obs_for(cas);
+  Observation oback;
+  ASSERT_TRUE(svc::parse_observation(svc::encode_observation(o), &oback));
+  EXPECT_EQ(oback.cmd.expected, "-");
+  EXPECT_EQ(oback.result.seq, 1u);
+}
+
+std::vector<CommittedEntry> clean_log() {
+  return {
+      log_entry(1, SvcOp::kPut, 1, 1, "a", "v1", "", true, false, ""),
+      log_entry(2, SvcOp::kGet, 2, 1, "a", "", "", true, true, "v1"),
+      log_entry(3, SvcOp::kCas, 1, 2, "a", "v2", "v1", true, false, ""),
+      log_entry(4, SvcOp::kGet, 2, 2, "a", "", "", true, true, "v2"),
+      log_entry(5, SvcOp::kCas, 1, 3, "b", "v3", "-", true, false, ""),
+  };
+}
+
+std::vector<Observation> clean_obs() {
+  std::vector<Observation> obs;
+  for (const CommittedEntry& e : clean_log()) obs.push_back(obs_for(e));
+  return obs;
+}
+
+TEST(SvcHistory, CleanHistoryPasses) {
+  const svc::HistoryReport r = svc::check_history(clean_log(), clean_obs());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.entries, 5u);
+  EXPECT_EQ(r.acked, 5u);
+}
+
+TEST(SvcHistory, LostWriteFixtureFails) {
+  // The service acked client 1's cseq-3 cas at seq 5, but the entry never
+  // made the log — the classic committed-then-dropped write. The log that
+  // remains is dense and replays clean, so ONLY the cross-check can catch
+  // it.
+  auto log = clean_log();
+  log.pop_back();
+  const svc::HistoryReport r = svc::check_history(log, clean_obs());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("lost write"), std::string::npos) << r.error;
+}
+
+TEST(SvcHistory, StaleReadFixtureFails) {
+  // Seq 4's get observed the value overwritten at seq 3 — a read served
+  // from a stale replica.
+  auto log = clean_log();
+  auto obs = clean_obs();
+  log[3].read_value = "v1";
+  obs[3].result.value = "v1";
+  const svc::HistoryReport r = svc::check_history(log, obs);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("stale read"), std::string::npos) << r.error;
+}
+
+TEST(SvcHistory, ReplayCatchesPhantomCas) {
+  auto log = clean_log();
+  log[2].cmd.expected = "never";  // recorded ok=1 yet the comparand missed
+  const svc::HistoryReport r = svc::check_history(log, clean_obs());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(SvcHistory, SessionOrderViolationFails) {
+  auto log = clean_log();
+  auto obs = clean_obs();
+  // Client 1's cseq 3 commits *before* its cseq 2 in log order.
+  std::swap(log[2].cmd.client_seq, log[4].cmd.client_seq);
+  obs[2].cmd.client_seq = log[2].cmd.client_seq;
+  obs[4].cmd.client_seq = log[4].cmd.client_seq;
+  const svc::HistoryReport r = svc::check_history(log, obs);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("session order"), std::string::npos) << r.error;
+}
+
+TEST(SvcHistory, UnavailableAckMustLeaveNoTrace) {
+  auto obs = clean_obs();
+  obs[0].result.unavailable = true;
+  obs[0].result.seq = 0;
+  const svc::HistoryReport r = svc::check_history(clean_log(), obs);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unavailable"), std::string::npos) << r.error;
+}
+
+TEST(SvcHistory, HolesInTheSequenceFail) {
+  auto log = clean_log();
+  log[3].seq = 7;
+  const svc::HistoryReport r = svc::check_history(log, {});
+  EXPECT_FALSE(r.ok);
+}
+
+// --- replica group ---------------------------------------------------------
+
+svc::ReplicaGroupConfig small_group(std::uint64_t seed) {
+  register_consensus_algorithms();
+  svc::ReplicaGroupConfig g;
+  g.n = 8;
+  g.f = 3;
+  g.seed = seed;
+  return g;
+}
+
+TEST(SvcReplica, OutcomesAreAPureFunctionOfTheSeed) {
+  svc::ReplicaGroupConfig cfg = small_group(17);
+  cfg.inject_crashes = 2;
+  cfg.crash_horizon_slots = 4;
+  svc::ReplicaGroup a(cfg);
+  svc::ReplicaGroup b(cfg);
+  EXPECT_EQ(a.crash_slots(), b.crash_slots());
+  for (int slot = 0; slot < 6; ++slot) {
+    const svc::CommitOutcome oa = a.commit_slot();
+    const svc::CommitOutcome ob = b.commit_slot();
+    EXPECT_EQ(oa.committed, ob.committed);
+    EXPECT_EQ(oa.unavailable, ob.unavailable);
+    EXPECT_EQ(oa.messages, ob.messages);
+    EXPECT_EQ(oa.bytes, ob.bytes);
+    EXPECT_EQ(oa.decision_time, ob.decision_time);
+    EXPECT_EQ(oa.decision_phase, ob.decision_phase);
+    EXPECT_TRUE(oa.committed) << "2 crashes <= f must stay available";
+  }
+  // A different seed draws a different fault plan.
+  svc::ReplicaGroupConfig other = cfg;
+  other.seed = 18;
+  EXPECT_NE(svc::ReplicaGroup(other).crash_slots(), a.crash_slots());
+}
+
+TEST(SvcReplica, BeyondBudgetCrashesReportHonestUnavailability) {
+  svc::ReplicaGroupConfig cfg = small_group(23);
+  cfg.inject_crashes = 5;  // > f = 3: majority must eventually be lost
+  cfg.crash_horizon_slots = 3;
+  svc::ReplicaGroup group(cfg);
+  bool saw_unavailable = false;
+  for (int slot = 0; slot < 8; ++slot) {
+    const svc::CommitOutcome out = group.commit_slot();
+    if (out.unavailable) {
+      saw_unavailable = true;
+      EXPECT_FALSE(out.committed);
+      EXPECT_LT(out.alive, cfg.n / 2 + 1);
+      EXPECT_EQ(out.messages, 0u) << "fail-fast: the slot must not run";
+    }
+  }
+  EXPECT_TRUE(saw_unavailable);
+}
+
+// --- loadgen ---------------------------------------------------------------
+
+TEST(SvcLoadgen, CommandsAreAPureFunctionOfSeedAndIndex) {
+  svc::LoadgenConfig cfg;
+  cfg.seed = 99;
+  cfg.requests = 64;
+  cfg.clients = 4;
+  cfg.value_bytes = 12;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const Command a = svc::loadgen_command(cfg, i);
+    const Command b = svc::loadgen_command(cfg, i);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.expected, b.expected);
+    EXPECT_EQ(a.client, 1 + i % 4);
+    EXPECT_EQ(a.client_seq, 1 + i / 4);
+    if (a.op != SvcOp::kGet) {
+      EXPECT_EQ(a.value.size(), 12u);
+    }
+    if (a.op == SvcOp::kCas) {
+      EXPECT_FALSE(a.expected.empty());
+    }
+  }
+}
+
+TEST(SvcLoadgen, OpenLoopPacingAndExactAccounting) {
+  svc::KvServiceConfig cfg;
+  cfg.group = small_group(31);
+  svc::KvService service(cfg);
+  svc::LoadgenConfig lc;
+  lc.inproc = &service;
+  lc.requests = 200;
+  lc.rate = 2000.0;  // last request due at 199/2000 s ~ 99.5 ms
+  lc.seed = 31;
+  const svc::LoadgenReport rep = svc::run_loadgen(lc);
+  service.stop();
+  EXPECT_EQ(rep.attempted, 200u);
+  EXPECT_EQ(rep.acked + rep.unavailable + rep.unacked, rep.attempted);
+  EXPECT_EQ(rep.acked, 200u);
+  EXPECT_TRUE(rep.complete);
+  EXPECT_GE(rep.wall_ms, 90.0) << "open loop must respect the schedule";
+  EXPECT_LE(rep.achieved_rate, 2500.0);
+  EXPECT_EQ(service.stats().committed, 200u);
+}
+
+// --- service end to end ----------------------------------------------------
+
+TEST(SvcService, CommittedHistoryChecksOutUnderCrashes) {
+  std::ostringstream log_os, obs_os;
+  svc::KvServiceConfig cfg;
+  cfg.group = small_group(47);
+  cfg.group.inject_crashes = 2;
+  cfg.group.crash_horizon_slots = 3;
+  cfg.batch_limit = 16;  // force many slots even for a small run
+  cfg.log_out = &log_os;
+  {
+    svc::KvService service(cfg);
+    svc::LoadgenConfig lc;
+    lc.inproc = &service;
+    lc.requests = 500;
+    lc.seed = 47;
+    lc.obs_out = &obs_os;
+    const svc::LoadgenReport rep = svc::run_loadgen(lc);
+    service.stop();
+    EXPECT_TRUE(rep.complete);
+    EXPECT_GE(service.stats().slots, 500u / 16);
+  }
+  std::istringstream log_is(log_os.str()), obs_is(obs_os.str());
+  std::vector<CommittedEntry> log;
+  std::vector<Observation> obs;
+  std::string error;
+  ASSERT_TRUE(svc::read_log(log_is, &log, &error)) << error;
+  ASSERT_TRUE(svc::read_observations(obs_is, &obs, &error)) << error;
+  EXPECT_EQ(log.size(), 500u);
+  const svc::HistoryReport r = svc::check_history(log, obs);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.acked, 500u);
+}
+
+TEST(SvcService, SubmitAfterStopAnswersUnavailable) {
+  svc::KvServiceConfig cfg;
+  cfg.group = small_group(53);
+  svc::KvService service(cfg);
+  service.stop();
+  bool answered = false;
+  Command cmd;
+  cmd.op = SvcOp::kPut;
+  cmd.client = 1;
+  cmd.client_seq = 1;
+  cmd.key = "k";
+  cmd.value = "v";
+  service.submit(cmd, [&](const Command&, const CommandResult& result,
+                          std::uint64_t) {
+    answered = true;
+    EXPECT_TRUE(result.unavailable);
+    EXPECT_FALSE(result.ok);
+  });
+  EXPECT_TRUE(answered);
+}
+
+}  // namespace
+}  // namespace asyncgossip

@@ -11,7 +11,7 @@ docs/ANALYSIS.md for the full catalogue and rationale):
                 AG-DET-004  pointer-keyed ordered containers
   layering      AG-LAY-001  include edge outside the layer DAG
                             common -> sim -> gossip -> {rt, consensus,
-                            lowerbound} -> apps/tools/bench
+                            lowerbound} -> svc -> apps/tools/bench
                 AG-LAY-002  src/gossip includes sim/engine.h (the
                             StepContext seam rule)
   locking       AG-LCK-001  raw .lock()/.unlock() calls (RAII required)
@@ -425,8 +425,8 @@ def analyze_file(relpath, text, config):
             m = LCK2_PATTERN.search(cline)
             if m and not is_preproc:
                 add("AG-LCK-002", lineno,
-                    f"{m.group(0)} in threaded code: src/rt and the "
-                    "engine's shard pool must use the annotated "
+                    f"{m.group(0)} in threaded code: src/rt, src/svc, and "
+                    "the engine's shard pool must use the annotated "
                     "asyncgossip::Mutex / MutexLock / CondVar "
                     "(common/thread_annotations.h) so clang -Wthread-safety "
                     "can check every guarded access")
@@ -454,7 +454,7 @@ def analyze_file(relpath, text, config):
                         f'{own_layer} may not include "{header}": the layer '
                         f"DAG permits {own_layer} -> {{{', '.join(allowed)}}} "
                         "only (common -> sim -> gossip -> {rt, consensus, "
-                        "lowerbound} -> apps/tools/bench)")
+                        "lowerbound} -> svc -> apps/tools/bench)")
 
     # --- suppressions -------------------------------------------------------
     sups = parse_suppressions(comments, code_lines, set(RULES))

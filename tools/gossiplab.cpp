@@ -17,6 +17,13 @@
 //              replayable repro artifact (exit 1 when a failure was found)
 //   replay     re-execute a repro artifact, verify its pinned trace hash
 //   statcheck  statistical Table 1 bound check (asyncgossip-statcheck-v1 JSON)
+//   serve      run the replicated KV service behind a loopback UDP front-end
+//              for a fixed duration (docs/SERVING.md)
+//   loadgen    drive an open-loop workload at a serve instance (--target udp)
+//              or an in-process service (--target inproc, the soak path);
+//              exit 1 when the run is incomplete
+//   histcheck  check a committed log + observation stream for lost writes,
+//              stale reads, and session-order violations
 //
 // Every subcommand understands --help; unknown flags are rejected.
 //
@@ -38,6 +45,13 @@
 //   gossiplab fuzz --iters 20 --inject late-delivery --out repro
 //   gossiplab replay --in repro.spec.json
 //   gossiplab statcheck --trials 12 --n 12,16,24,32 --out statcheck.json
+//   gossiplab rt --algorithm cr-tears --n 32 --f 15 --inject crash
+//   gossiplab serve --port 47123 --duration 10 --algorithm cr-tears
+//   gossiplab loadgen --target udp --port 47123 --rate 500 --duration 5
+//   gossiplab loadgen --target inproc --requests 1000000 --crashes 2
+//       --log svc.log --obs svc.obs
+//   gossiplab histcheck --log svc.log --obs svc.obs
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,9 +62,11 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "consensus/canetti_rabin.h"
+#include "consensus/cr_gossip.h"
 #include "gossip/fuzz_harness.h"
 #include "gossip/harness.h"
 #include "gossip/spec_json.h"
@@ -61,6 +77,11 @@
 #include "sim/telemetry.h"
 #include "sim/telemetry_export.h"
 #include "sim/trace.h"
+#include "svc/consensus_wire.h"
+#include "svc/history.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+#include "svc/service.h"
 
 using namespace asyncgossip;
 
@@ -121,7 +142,8 @@ void check_flags(const char* cmd, const Flags& flags,
 constexpr const char* kSpecFlagHelp =
     "  model/algorithm flags (shared by gossip runs):\n"
     "    --alg NAME          algorithm: trivial|ears|sears|tears|sync|\n"
-    "                        ears-no-informed-list|lazy|round-robin (default ears)\n"
+    "                        ears-no-informed-list|lazy|round-robin|\n"
+    "                        cr-ears|cr-sears|cr-tears (default ears)\n"
     "    --algorithm NAME    alias for --alg\n"
     "    --n N --f F         processes / crash budget (default 64, n/4)\n"
     "    --d D --delta DD    delivery / scheduling bounds (default 1, 1)\n"
@@ -765,6 +787,13 @@ int cmd_rt(const Flags& f) {
   const bool gathering_required = gossip_requires_gathering(realized);
   const bool majority_required = gossip_requires_majority(realized);
 
+  // cr-* runs: gathering/majority are exempt above; the run is instead
+  // judged by the consensus verdict aggregated from per-process notes
+  // (threaded: collected post-join; udp: carried in worker files).
+  const bool is_consensus = is_consensus_algorithm(config.spec.algorithm);
+  ConsensusVerdict verdict;
+  if (is_consensus) verdict = judge_consensus_notes(res.notes, res.crashed);
+
   TelemetryExportInfo info;
   info.run = {{"tool", "gossiplab rt"},
               {"runtime", multiproc ? "realtime-multiproc" : "realtime-threads"},
@@ -799,6 +828,21 @@ int cmd_rt(const Flags& f) {
       {"recorder_dropped", (double)res.flight_dropped},
       {"recorder_overhead_ms", res.recorder_overhead_ms},
   };
+  if (is_consensus) {
+    info.summary.insert(
+        info.summary.end(),
+        {
+            {"consensus_all_decided", verdict.all_decided ? 1.0 : 0.0},
+            {"consensus_agreement", verdict.agreement ? 1.0 : 0.0},
+            {"consensus_validity", verdict.validity ? 1.0 : 0.0},
+            {"consensus_decided_value", (double)verdict.decided_value},
+            {"consensus_decision_phase", (double)verdict.decision_phase},
+            {"consensus_decided_count", (double)verdict.decided_count},
+            {"consensus_survivors", (double)verdict.survivors},
+            {"consensus_core_violations", (double)verdict.core_violations},
+            {"consensus_reannouncements", (double)verdict.reannouncements},
+        });
+  }
 
   std::ostringstream doc;
   write_telemetry_json(doc, telemetry, info);
@@ -823,14 +867,18 @@ int cmd_rt(const Flags& f) {
 
   const bool ok = out.completed && audit.ok() &&
                   (!gathering_required || out.gathering_ok) &&
-                  (!majority_required || out.majority_ok);
+                  (!majority_required || out.majority_ok) &&
+                  (!is_consensus || verdict.ok());
+  if (is_consensus)
+    std::fprintf(stderr, "consensus: %s\n", verdict.summary().c_str());
   if (!ok)
     std::fprintf(stderr,
                  "rt run failed: completed=%d audit_ok=%d gathering=%d/%d "
-                 "majority=%d/%d\n",
+                 "majority=%d/%d consensus=%d/%d\n",
                  (int)out.completed, (int)audit.ok(), (int)out.gathering_ok,
                  (int)gathering_required, (int)out.majority_ok,
-                 (int)majority_required);
+                 (int)majority_required, (int)(!is_consensus || verdict.ok()),
+                 (int)is_consensus);
   return ok ? 0 : 1;
 }
 
@@ -1051,10 +1099,410 @@ int cmd_statcheck(const Flags& f) {
   return report.ok() ? 0 : 1;
 }
 
+// Shared replica-group flags consumed by group_from_flags (serve, and
+// loadgen's inproc target).
+#define GROUP_FLAG_LIST                                                       \
+  "alg", "algorithm", "n", "f", "d", "delta", "seed", "batch", "crashes",     \
+      "crash-horizon", "stall-p", "log"
+
+constexpr const char* kGroupFlagHelp =
+    "  replica-group flags (the service's consensus commit path):\n"
+    "    --alg NAME          cr-ears|cr-sears|cr-tears (default cr-tears)\n"
+    "    --algorithm NAME    alias for --alg\n"
+    "    --n N --f F         replicas / tolerated crashes (default 8, (n-1)/2)\n"
+    "    --d D --delta DD    per-slot delivery / scheduling bounds (default 2, 2)\n"
+    "    --seed S            group seed: fault plan + per-slot engines (default 1)\n"
+    "    --batch K           max commands per consensus slot (default 512)\n"
+    "    --crashes K         fault plan: replicas to crash over the run; may\n"
+    "                        exceed --f to exercise honest unavailability\n"
+    "    --crash-horizon T   crash slots drawn in [1, T] (default 64)\n"
+    "    --stall-p P         per-slot stall probability (d inflated 4x)\n"
+    "    --log PATH          stream the committed log (svc-log-v1) to PATH\n";
+
+svc::ReplicaGroupConfig group_from_flags(const char* cmd, const Flags& f) {
+  svc::ReplicaGroupConfig g;
+  g.n = get_u64(f, "n", 8);
+  g.f = get_u64(f, "f", g.n >= 1 ? (g.n - 1) / 2 : 0);
+  g.algorithm =
+      parse_algorithm(get_str(f, "alg", get_str(f, "algorithm", "cr-tears")));
+  if (!is_consensus_algorithm(g.algorithm)) {
+    std::fprintf(stderr,
+                 "gossiplab %s: the service commits through consensus; --alg "
+                 "must be cr-ears|cr-sears|cr-tears\n",
+                 cmd);
+    std::exit(2);
+  }
+  if (g.n < 3 || g.f >= (g.n + 1) / 2) {
+    std::fprintf(stderr,
+                 "gossiplab %s: need n >= 3 and f < n/2 (got n=%zu f=%zu)\n",
+                 cmd, g.n, g.f);
+    std::exit(2);
+  }
+  g.d = get_u64(f, "d", 2);
+  g.delta = get_u64(f, "delta", 2);
+  g.seed = get_u64(f, "seed", 1);
+  g.inject_crashes = get_u64(f, "crashes", 0);
+  g.crash_horizon_slots = get_u64(f, "crash-horizon", 64);
+  g.stall_probability = get_double(f, "stall-p", 0.0);
+  if (g.stall_probability < 0.0 || g.stall_probability > 1.0) {
+    std::fprintf(stderr, "gossiplab %s: --stall-p must be in [0,1]\n", cmd);
+    std::exit(2);
+  }
+  return g;
+}
+
+/// Appends the service's slot/commit counters to a bench-v1 counter list.
+void append_service_counters(const svc::KvServiceStats& stats,
+                             std::vector<std::pair<std::string, double>>* c) {
+  c->insert(c->end(),
+            {
+                {"committed", (double)stats.committed},
+                {"slots", (double)stats.slots},
+                {"slots_unavailable", (double)stats.slots_unavailable},
+                {"slots_stalled", (double)stats.slots_stalled},
+                {"consensus_messages", (double)stats.consensus_messages},
+                {"consensus_bytes", (double)stats.consensus_bytes},
+                {"consensus_ticks", (double)stats.consensus_ticks},
+                {"max_batch", (double)stats.max_batch},
+            });
+}
+
+int write_bench_report(const Flags& f, const char* suite, BenchCaseRow row) {
+  const std::string path = get_str(f, "json", "");
+  if (path.empty()) return 0;
+  std::ostringstream doc;
+  write_bench_json(doc, suite, {std::move(row)});
+  std::string json_err;
+  if (!json_valid(doc.str(), &json_err)) {
+    std::fprintf(stderr, "internal error: %s report is not valid JSON: %s\n",
+                 suite, json_err.c_str());
+    return 3;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 2;
+  }
+  os << doc.str();
+  std::fprintf(stderr, "wrote %s report to %s\n", suite, path.c_str());
+  return 0;
+}
+
+int cmd_serve(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab serve --port P [flags]\n"
+        "run the replicated KV service behind a loopback UDP front-end for a\n"
+        "fixed duration, then print the serving counters (docs/SERVING.md)\n"
+        "    --port P            UDP port on 127.0.0.1 (required; 0 = ephemeral,\n"
+        "                        the bound port is printed on stdout)\n"
+        "    --duration S        seconds to serve (default 10)\n"
+        "    --json PATH         write an asyncgossip-bench-v1 report "
+        "(suite \"serve\")\n%s",
+        kGroupFlagHelp);
+    return 0;
+  }
+  check_flags("serve", f, {GROUP_FLAG_LIST, "port", "duration", "json"});
+  if (!has_flag(f, "port")) {
+    std::fprintf(stderr,
+                 "gossiplab serve: --port is required (0 = ephemeral)\n");
+    return 2;
+  }
+  const double duration = get_double(f, "duration", 10.0);
+  if (duration <= 0.0) {
+    std::fprintf(stderr, "gossiplab serve: --duration must be > 0\n");
+    return 2;
+  }
+  svc::KvServiceConfig cfg;
+  cfg.group = group_from_flags("serve", f);
+  cfg.batch_limit = get_u64(f, "batch", 512);
+  if (cfg.batch_limit == 0) {
+    std::fprintf(stderr, "gossiplab serve: --batch must be >= 1\n");
+    return 2;
+  }
+  std::ofstream log_file;
+  if (has_flag(f, "log")) {
+    log_file.open(get_str(f, "log", "svc.log"));
+    if (!log_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   get_str(f, "log", "svc.log").c_str());
+      return 2;
+    }
+    cfg.log_out = &log_file;
+  }
+  svc::KvService service(cfg);
+  svc::UdpKvServer server(&service,
+                          (std::uint16_t)get_u64(f, "port", 0));
+  if (!server.ok()) {
+    std::fprintf(stderr, "gossiplab serve: cannot bind 127.0.0.1:%llu\n",
+                 (unsigned long long)get_u64(f, "port", 0));
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (%s n=%zu f=%zu seed=%llu)\n",
+              (unsigned)server.port(), to_string(cfg.group.algorithm),
+              cfg.group.n, cfg.group.f, (unsigned long long)cfg.group.seed);
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+  server.stop();
+  service.stop();
+  const svc::KvServiceStats stats = service.stats();
+  std::printf("served %llu requests (%llu malformed datagrams dropped)\n",
+              (unsigned long long)server.requests(),
+              (unsigned long long)server.malformed());
+  std::printf(
+      "  committed   %llu over %llu slots (%llu unavailable, %llu stalled, "
+      "max batch %llu)\n",
+      (unsigned long long)stats.committed, (unsigned long long)stats.slots,
+      (unsigned long long)stats.slots_unavailable,
+      (unsigned long long)stats.slots_stalled,
+      (unsigned long long)stats.max_batch);
+  std::printf("  consensus   %llu msgs, %llu bytes, %llu ticks\n",
+              (unsigned long long)stats.consensus_messages,
+              (unsigned long long)stats.consensus_bytes,
+              (unsigned long long)stats.consensus_ticks);
+  BenchCaseRow row;
+  row.name = std::string("serve/") + to_string(cfg.group.algorithm) +
+             "/n:" + std::to_string(cfg.group.n) +
+             "/seed:" + std::to_string(cfg.group.seed);
+  row.counters = {{"requests", (double)server.requests()},
+                  {"malformed", (double)server.malformed()},
+                  {"unavailable", (double)stats.unavailable}};
+  append_service_counters(stats, &row.counters);
+  return write_bench_report(f, "serve", std::move(row));
+}
+
+int cmd_loadgen(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab loadgen --target inproc|udp [flags]\n"
+        "drive an open-loop workload (request k due at k/rate seconds; never\n"
+        "paced by responses) and report commit-latency percentiles and\n"
+        "throughput; exit 1 when any request went unacked or unavailable\n"
+        "    --target KIND       inproc (own service in-process; the >= 1M\n"
+        "                        soak path) | udp (a running `gossiplab serve`)\n"
+        "    --port P            UDP target port on 127.0.0.1\n"
+        "    --rate R            requests/second; 0 = unpaced (default 0)\n"
+        "    --duration S        with --rate: issue for S seconds\n"
+        "                        (requests = rate * duration)\n"
+        "    --requests K        total requests (alternative to\n"
+        "                        --rate + --duration)\n"
+        "    --keys K            key space size (default 1024)\n"
+        "    --value-bytes B     value payload size, 1..4000 (default 16)\n"
+        "    --clients C         logical clients (default 4)\n"
+        "    --get-frac P --cas-frac P\n"
+        "                        workload mix (defaults 0.4, 0.1; rest puts)\n"
+        "    --obs PATH          stream observations (svc-obs-v1) to PATH for\n"
+        "                        `gossiplab histcheck`\n"
+        "    --drain-timeout S   UDP: grace for trailing responses (default 5)\n"
+        "    --json PATH         write an asyncgossip-bench-v1 report "
+        "(suite \"loadgen\")\n"
+        "  inproc also takes the replica-group flags:\n%s",
+        kGroupFlagHelp);
+    return 0;
+  }
+  check_flags("loadgen", f,
+              {GROUP_FLAG_LIST, "target", "port", "rate", "duration",
+               "requests", "keys", "value-bytes", "clients", "get-frac",
+               "cas-frac", "obs", "drain-timeout", "json"});
+  const std::string target = get_str(f, "target", "");
+  if (target != "inproc" && target != "udp") {
+    std::fprintf(stderr,
+                 "gossiplab loadgen: --target inproc|udp is required\n");
+    return 2;
+  }
+  svc::LoadgenConfig lc;
+  lc.rate = get_double(f, "rate", 0.0);
+  if (lc.rate < 0.0) {
+    std::fprintf(stderr, "gossiplab loadgen: --rate must be >= 0\n");
+    return 2;
+  }
+  if (has_flag(f, "requests")) {
+    lc.requests = get_u64(f, "requests", 0);
+  } else {
+    const double duration = get_double(f, "duration", 0.0);
+    lc.requests = (std::uint64_t)(lc.rate * duration);
+  }
+  if (lc.requests == 0) {
+    std::fprintf(stderr,
+                 "gossiplab loadgen: need --requests K, or --rate R with "
+                 "--duration S\n");
+    return 2;
+  }
+  lc.keys = get_u64(f, "keys", 1024);
+  lc.value_bytes = get_u64(f, "value-bytes", 16);
+  // Tokens are capped at 4096 printable bytes and a request datagram must
+  // fit the 8 KiB receive buffer with headroom for the other fields.
+  if (lc.keys == 0 || lc.value_bytes == 0 || lc.value_bytes > 4000) {
+    std::fprintf(stderr,
+                 "gossiplab loadgen: --keys must be >= 1 and --value-bytes "
+                 "in 1..4000\n");
+    return 2;
+  }
+  lc.seed = get_u64(f, "seed", 1);
+  lc.clients = get_u64(f, "clients", 4);
+  lc.get_fraction = get_double(f, "get-frac", 0.4);
+  lc.cas_fraction = get_double(f, "cas-frac", 0.1);
+  if (lc.get_fraction < 0.0 || lc.cas_fraction < 0.0 ||
+      lc.get_fraction + lc.cas_fraction > 1.0) {
+    std::fprintf(stderr,
+                 "gossiplab loadgen: --get-frac/--cas-frac must be >= 0 and "
+                 "sum to <= 1\n");
+    return 2;
+  }
+  lc.drain_timeout_s = get_double(f, "drain-timeout", 5.0);
+  std::ofstream obs_file;
+  if (has_flag(f, "obs")) {
+    obs_file.open(get_str(f, "obs", "svc.obs"));
+    if (!obs_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   get_str(f, "obs", "svc.obs").c_str());
+      return 2;
+    }
+    lc.obs_out = &obs_file;
+  }
+
+  svc::LoadgenReport report;
+  svc::KvServiceStats stats;
+  bool have_stats = false;
+  if (target == "udp") {
+    const std::uint64_t port = get_u64(f, "port", 0);
+    if (port == 0 || port > 65535) {
+      std::fprintf(stderr,
+                   "gossiplab loadgen: --target udp needs --port 1..65535\n");
+      return 2;
+    }
+    lc.udp_port = (std::uint16_t)port;
+    report = svc::run_loadgen(lc);
+  } else {
+    svc::KvServiceConfig cfg;
+    cfg.group = group_from_flags("loadgen", f);
+    cfg.batch_limit = get_u64(f, "batch", 512);
+    if (cfg.batch_limit == 0) {
+      std::fprintf(stderr, "gossiplab loadgen: --batch must be >= 1\n");
+      return 2;
+    }
+    std::ofstream log_file;
+    if (has_flag(f, "log")) {
+      log_file.open(get_str(f, "log", "svc.log"));
+      if (!log_file) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     get_str(f, "log", "svc.log").c_str());
+        return 2;
+      }
+      cfg.log_out = &log_file;
+    }
+    svc::KvService service(cfg);
+    lc.inproc = &service;
+    report = svc::run_loadgen(lc);
+    service.stop();
+    stats = service.stats();
+    have_stats = true;
+  }
+
+  std::printf("loadgen %s: %llu attempted, %llu acked, %llu unavailable, "
+              "%llu unacked -> %s\n",
+              target.c_str(), (unsigned long long)report.attempted,
+              (unsigned long long)report.acked,
+              (unsigned long long)report.unavailable,
+              (unsigned long long)report.unacked,
+              report.complete ? "complete" : "INCOMPLETE");
+  std::printf(
+      "  commit latency  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+      (double)report.p50_us / 1000.0, (double)report.p95_us / 1000.0,
+      (double)report.p99_us / 1000.0, (double)report.max_us / 1000.0);
+  std::printf("  throughput      %.1f acked/s over %.1f ms\n",
+              report.achieved_rate, report.wall_ms);
+  if (have_stats)
+    std::printf(
+        "  service         %llu slots (%llu unavailable, %llu stalled), "
+        "max batch %llu\n",
+        (unsigned long long)stats.slots,
+        (unsigned long long)stats.slots_unavailable,
+        (unsigned long long)stats.slots_stalled,
+        (unsigned long long)stats.max_batch);
+
+  BenchCaseRow row;
+  row.name = "loadgen/" + target + "/seed:" + std::to_string(lc.seed);
+  row.counters = {
+      {"attempted", (double)report.attempted},
+      {"acked", (double)report.acked},
+      {"unavailable", (double)report.unavailable},
+      {"unacked", (double)report.unacked},
+      {"complete", report.complete ? 1.0 : 0.0},
+      {"p50_us", (double)report.p50_us},
+      {"p95_us", (double)report.p95_us},
+      {"p99_us", (double)report.p99_us},
+      {"max_us", (double)report.max_us},
+      {"achieved_rate", report.achieved_rate},
+      {"wall_ms", report.wall_ms},
+  };
+  if (have_stats) append_service_counters(stats, &row.counters);
+  const int json_rc = write_bench_report(f, "loadgen", std::move(row));
+  if (json_rc != 0) return json_rc;
+  return report.complete ? 0 : 1;
+}
+
+int cmd_histcheck(const Flags& f) {
+  if (has_flag(f, "help")) {
+    std::printf(
+        "usage: gossiplab histcheck --log LOG --obs OBS\n"
+        "check a committed log (svc-log-v1) against a client observation\n"
+        "stream (svc-obs-v1): dense sequencing, replay-consistent results\n"
+        "(no stale reads / lost CAS), acked observations present in the log\n"
+        "field-for-field, per-client session order, and no trace of\n"
+        "unavailable-acked requests\n"
+        "    --log PATH          committed log (serve/loadgen --log)\n"
+        "    --obs PATH          observation stream (loadgen --obs)\n"
+        "exit status: 0 history checks out, 1 violation found, 2 unreadable\n");
+    return 0;
+  }
+  check_flags("histcheck", f, {"log", "obs"});
+  if (!has_flag(f, "log") || !has_flag(f, "obs")) {
+    std::fprintf(stderr,
+                 "gossiplab histcheck: --log LOG and --obs OBS are required\n");
+    return 2;
+  }
+  const std::string log_path = get_str(f, "log", "svc.log");
+  const std::string obs_path = get_str(f, "obs", "svc.obs");
+  std::ifstream log_is(log_path);
+  if (!log_is) {
+    std::fprintf(stderr, "cannot open %s for reading\n", log_path.c_str());
+    return 2;
+  }
+  std::ifstream obs_is(obs_path);
+  if (!obs_is) {
+    std::fprintf(stderr, "cannot open %s for reading\n", obs_path.c_str());
+    return 2;
+  }
+  std::vector<svc::CommittedEntry> log;
+  std::vector<svc::Observation> observations;
+  std::string error;
+  if (!svc::read_log(log_is, &log, &error)) {
+    std::fprintf(stderr, "%s: %s\n", log_path.c_str(), error.c_str());
+    return 2;
+  }
+  if (!svc::read_observations(obs_is, &observations, &error)) {
+    std::fprintf(stderr, "%s: %s\n", obs_path.c_str(), error.c_str());
+    return 2;
+  }
+  const svc::HistoryReport report = svc::check_history(log, observations);
+  std::printf("histcheck: %zu log entries, %zu observations (%zu acked "
+              "cross-checked, %zu unavailable)\n",
+              report.entries, report.observations, report.acked,
+              report.unavailable);
+  if (!report.ok) {
+    std::printf("FAILED: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("ok: committed history is consistent\n");
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: gossiplab <gossip|sweep|consensus|lowerbound|trace|"
-               "report|rt|spans|fuzz|replay|statcheck> [--flag value ...]\n"
+               "report|rt|spans|fuzz|replay|statcheck|serve|loadgen|"
+               "histcheck> [--flag value ...]\n"
                "run `gossiplab <subcommand> --help` for flags, or see the\n"
                "tools/gossiplab.cpp header for examples\n");
 }
@@ -1066,6 +1514,11 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // Install the cr-* consensus palette entries and the ConsensusPayload wire
+  // codec up front: multi-process `rt --transport udp` workers re-exec this
+  // binary, so registration here covers coordinator and workers alike.
+  register_consensus_algorithms();
+  svc::register_consensus_wire();
   try {
     const std::string cmd = argv[1];
     const Flags flags = parse_flags(argc, argv, 2);
@@ -1080,6 +1533,9 @@ int main(int argc, char** argv) {
     if (cmd == "fuzz") return cmd_fuzz(flags);
     if (cmd == "replay") return cmd_replay(flags);
     if (cmd == "statcheck") return cmd_statcheck(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "loadgen") return cmd_loadgen(flags);
+    if (cmd == "histcheck") return cmd_histcheck(flags);
     if (cmd == "--help" || cmd == "help") {
       usage();
       return 0;

@@ -11,7 +11,10 @@
 #   6. the UDP multi-process driver: rt --transport udp re-execs one OS
 #      process per gossip process, the merged trace lints clean with
 #      tracecheck, the JSON report names the multiproc runtime, and the
-#      transport-flag contract violations exit 2.
+#      transport-flag contract violations exit 2;
+#   7. the serving stack: an inproc loadgen run commits a consistent history
+#      (histcheck exits 0), a tampered log is rejected (exit 1), and the
+#      serve/loadgen/histcheck flag contracts exit 2.
 # Driven by ctest; see tools/CMakeLists.txt.
 foreach(var GOSSIPLAB TRACECHECK WORKDIR FIXTURE)
   if(NOT DEFINED ${var})
@@ -21,7 +24,7 @@ endforeach()
 
 # 1. --help for every subcommand.
 foreach(sub gossip sweep consensus lowerbound trace report rt fuzz replay
-        statcheck spans)
+        statcheck spans serve loadgen histcheck)
   execute_process(COMMAND "${GOSSIPLAB}" ${sub} --help
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
   if(NOT rc EQUAL 0)
@@ -158,6 +161,28 @@ endif()
 if(NOT mp_report MATCHES "\"audit_violations\": 0")
   message(FATAL_ERROR "udp rt report shows audit violations:\n${mp_report}")
 endif()
+# Consensus over the multiproc driver: one OS process per replica, the
+# ConsensusPayload wire extension on real datagrams, and the aggregated
+# verdict (carried via worker note files) must come back clean.
+set(cr_json "${WORKDIR}/gossiplab_cli_cr_udp.json")
+execute_process(
+  COMMAND "${GOSSIPLAB}" rt --transport udp --algorithm cr-ears --n 5 --f 2
+          --seed 21 --tick-us 200 --out "${cr_json}"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rt --transport udp --algorithm cr-ears exited ${rc}:\n"
+                      "${err}")
+endif()
+if(NOT err MATCHES "consensus: ok")
+  message(FATAL_ERROR "multiproc cr-ears run did not report a clean "
+                      "consensus verdict:\n${err}")
+endif()
+file(READ "${cr_json}" cr_report)
+if(NOT cr_report MATCHES "consensus_agreement")
+  message(FATAL_ERROR "cr-ears udp report carries no consensus summary:\n"
+                      "${cr_report}")
+endif()
+
 # Transport-flag contracts: wire faults need a UDP transport, and the
 # flight recorder / live stats are threaded-driver-only.
 execute_process(COMMAND "${GOSSIPLAB}" rt --n 6 --wire-drop 0.1
@@ -171,6 +196,83 @@ execute_process(
   RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
 if(NOT rc EQUAL 2)
   message(FATAL_ERROR "rt --transport udp --spans exited ${rc}, want 2")
+endif()
+
+# 7. Serving stack: inproc loadgen -> committed log + observations ->
+# histcheck, plus the tamper and flag contracts.
+set(svc_log "${WORKDIR}/gossiplab_cli_svc.log")
+set(svc_obs "${WORKDIR}/gossiplab_cli_svc.obs")
+execute_process(
+  COMMAND "${GOSSIPLAB}" loadgen --target inproc --requests 2000 --n 8 --f 3
+          --crashes 1 --seed 9 --log "${svc_log}" --obs "${svc_obs}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "inproc loadgen exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "-> complete")
+  message(FATAL_ERROR "inproc loadgen did not report a complete run:\n${out}")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" histcheck --log "${svc_log}"
+          --obs "${svc_obs}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "histcheck exited ${rc}:\n${out}")
+endif()
+# Tamper: rewriting one committed put's value must fail the replay check.
+file(READ "${svc_log}" svc_log_text)
+string(REGEX REPLACE "(\n[0-9]+ put [^\n]* )v([0-9]+)" "\\1TAMPERED"
+       svc_log_tampered "${svc_log_text}")
+if(svc_log_tampered STREQUAL svc_log_text)
+  message(FATAL_ERROR "tamper regex matched nothing in ${svc_log}")
+endif()
+set(svc_log_bad "${WORKDIR}/gossiplab_cli_svc_tampered.log")
+file(WRITE "${svc_log_bad}" "${svc_log_tampered}")
+execute_process(COMMAND "${GOSSIPLAB}" histcheck --log "${svc_log_bad}"
+          --obs "${svc_obs}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "histcheck on a tampered log exited ${rc}, want 1")
+endif()
+# Flag contracts.
+execute_process(COMMAND "${GOSSIPLAB}" serve
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "serve without --port exited ${rc}, want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" loadgen --requests 10
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "loadgen without --target exited ${rc}, want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" loadgen --target udp --requests 10
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "loadgen --target udp without --port exited ${rc}, "
+                      "want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" loadgen --target inproc --rate 100
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "loadgen without --requests/--duration exited ${rc}, "
+                      "want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" loadgen --target inproc --requests 10
+          --value-bytes 0
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "loadgen --value-bytes 0 exited ${rc}, want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" loadgen --target inproc --requests 10
+          --alg ears
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "loadgen --alg ears (non-consensus) exited ${rc}, "
+                      "want 2")
+endif()
+execute_process(COMMAND "${GOSSIPLAB}" histcheck --log "${svc_log}"
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "histcheck without --obs exited ${rc}, want 2")
 endif()
 
 message(STATUS "gossiplab CLI smoke test passed")
